@@ -1,0 +1,55 @@
+"""Session fixtures for the figure/table benchmarks.
+
+Expensive shared artifacts (GNN stand-ins, the SuiteSparse-like collection,
+LiteForm's trained models) are built once per session.  Workload sizes can
+be scaled with environment variables:
+
+* ``REPRO_BENCH_COLLECTION`` — matrices in the Fig. 7/9 sweep (default 48)
+* ``REPRO_BENCH_TRAIN``      — matrices used for model training / Tables
+  5-6 (default 150, paper used 514)
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import BENCH_J_VALUES, COLLECTION_SIZE, TRAIN_SIZE
+from repro.core import LiteForm, generate_training_data
+from repro.core.training import TrainingData
+from repro.gpu import SimulatedDevice
+from repro.matrices import GNN_DATASETS, SuiteSparseLikeCollection, make_gnn_standin
+
+
+@pytest.fixture(scope="session")
+def device() -> SimulatedDevice:
+    return SimulatedDevice()
+
+
+@pytest.fixture(scope="session")
+def gnn_graphs() -> dict:
+    return {name: make_gnn_standin(name, seed=1) for name in GNN_DATASETS}
+
+
+@pytest.fixture(scope="session")
+def collection() -> list:
+    coll = SuiteSparseLikeCollection(size=COLLECTION_SIZE, max_rows=30_000, seed=404)
+    return list(coll)
+
+
+@pytest.fixture(scope="session")
+def training_data() -> TrainingData:
+    coll = SuiteSparseLikeCollection(size=TRAIN_SIZE, max_rows=30_000, seed=2025)
+    return generate_training_data(coll, J_values=BENCH_J_VALUES)
+
+
+@pytest.fixture(scope="session")
+def liteform(training_data) -> LiteForm:
+    return LiteForm().fit(training_data)
+
+
+@pytest.fixture(scope="session")
+def bench_rng() -> np.random.Generator:
+    return np.random.default_rng(31337)

@@ -1,0 +1,60 @@
+"""Extension benchmark: the Table 1 hierarchy, measured.
+
+The taxonomy claims a strict capability ladder — fixed format <
+automatic (fixed-)format selection < pattern-aware composable formats.
+This benchmark runs one representative of each rung on the GNN graphs:
+cuSPARSE-style CSR (fixed), the Seer-style selector (automatic), and
+LiteForm (composable), confirming the ordering the paper's Table 1 argues
+qualitatively.
+"""
+
+import pytest
+
+from repro.baselines import LiteFormBaseline, make_baseline
+from repro.baselines.autoselect import AutoSelectBaseline
+from repro.bench import BenchTable, geomean
+from repro.bench.harness import BENCH_J_VALUES, scaled_device
+from repro.matrices import SuiteSparseLikeCollection
+
+
+@pytest.fixture(scope="module")
+def ladder_results(gnn_graphs, liteform, device):
+    selector = AutoSelectBaseline().fit(
+        SuiteSparseLikeCollection(size=24, max_rows=10_000, seed=88),
+        device,
+        J_values=(32, 128),
+    )
+    rows = {}
+    for graph, A in gnn_graphs.items():
+        dev = scaled_device(graph)
+        per = {"fixed": [], "autoselect": [], "liteform": []}
+        for J in BENCH_J_VALUES:
+            fixed = make_baseline("cusparse")
+            t_fixed = fixed.measure(fixed.prepare(A, J, dev), J, dev).time_s
+            prep = selector.prepare(A, J, dev)
+            t_sel = selector.measure(prep, J, dev).time_s
+            lf = LiteFormBaseline(liteform)
+            t_lf = lf.measure(lf.prepare(A, J, dev), J, dev).time_s
+            per["fixed"].append(1.0)
+            per["autoselect"].append(t_fixed / t_sel)
+            per["liteform"].append(t_fixed / t_lf)
+        rows[graph] = {k: geomean(v) for k, v in per.items()}
+    return rows
+
+
+def test_ext_table1_ladder(benchmark, ladder_results):
+    rows = benchmark.pedantic(lambda: ladder_results, rounds=1, iterations=1)
+    table = BenchTable(
+        "Extension: the Table 1 capability ladder, measured (vs cuSPARSE)",
+        ["graph", "fixed", "autoselect", "liteform"],
+    )
+    for graph, r in rows.items():
+        table.add_row(graph, r["fixed"], r["autoselect"], r["liteform"])
+    gm = {k: geomean(r[k] for r in rows.values()) for k in ("fixed", "autoselect", "liteform")}
+    table.add_row("GEOMEAN", gm["fixed"], gm["autoselect"], gm["liteform"])
+    table.emit()
+
+    # The ladder: selection >= fixed, composable > selection (geomean).
+    assert gm["autoselect"] >= 0.95
+    assert gm["liteform"] > gm["autoselect"]
+    assert gm["liteform"] > 1.3

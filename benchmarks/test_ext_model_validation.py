@@ -1,0 +1,75 @@
+"""Extension benchmark: analytical model vs discrete-event micro-simulator.
+
+The reproduction's conclusions rest on the analytical timing model
+(repro.gpu.timing).  This benchmark cross-validates it against the
+independent discrete-event engine (repro.gpu.microsim) on the Figure 11
+question — where is the optimal maximum bucket width? — across several
+matrix patterns, reporting both engines' curves and their agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import BenchTable
+from repro.formats import CELLFormat
+from repro.gpu.microsim import simulate_cell
+from repro.kernels import CELLSpMM
+from repro.matrices import community_graph, mixture_matrix, power_law_graph
+
+J = 64
+MATRICES = {
+    "power_law": lambda: power_law_graph(2500, 10, seed=1),
+    "community": lambda: community_graph(2500, 12, num_communities=20, seed=2),
+    "mixture": lambda: mixture_matrix(2000, avg_degree=14, seed=3),
+}
+
+
+@pytest.fixture(scope="module")
+def validation_results(device):
+    out = {}
+    for name, make in MATRICES.items():
+        A = make()
+        micro, analytic = [], []
+        from repro.core import matrix_cost_profiles
+
+        max_exp = matrix_cost_profiles(A, 1)[0].natural_max_exp
+        exps = list(range(0, max_exp + 1))
+        for e in exps:
+            fmt = CELLFormat.from_csr(A, num_partitions=1, max_widths=1 << e)
+            micro.append(simulate_cell(fmt, J).time_s)
+            analytic.append(CELLSpMM().measure(fmt, J, device).time_s)
+        out[name] = (exps, micro, analytic)
+    return out
+
+
+def test_ext_model_validation(benchmark, validation_results):
+    results = benchmark.pedantic(lambda: validation_results, rounds=1, iterations=1)
+    table = BenchTable(
+        "Extension: analytical model vs discrete-event engine (optimal max width)",
+        ["matrix", "argmin micro", "argmin analytic", "pearson r"],
+    )
+    for name, (exps, micro, analytic) in results.items():
+        r = float(np.corrcoef(micro, analytic)[0, 1])
+        table.add_row(
+            name,
+            f"2^{exps[int(np.argmin(micro))]}",
+            f"2^{exps[int(np.argmin(analytic))]}",
+            r,
+        )
+    table.emit()
+
+    for name, (exps, micro, analytic) in results.items():
+        # The two engines place the optimum within one doubling of each
+        # other and their curves co-move.
+        assert abs(int(np.argmin(micro)) - int(np.argmin(analytic))) <= 1, name
+        assert float(np.corrcoef(micro, analytic)[0, 1]) > 0.5, name
+
+
+def test_ext_microsim_memory_bound(benchmark, validation_results):
+    """SpMM stays memory-bound in the discrete-event engine too."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    A = MATRICES["power_law"]()
+    fmt = CELLFormat.from_csr(A, num_partitions=1, max_widths=16)
+    r = simulate_cell(fmt, J)
+    print(f"\n  memory-pipe utilization at the optimum: {r.memory_utilization:.1%}")
+    assert r.memory_utilization > 0.5

@@ -1,0 +1,63 @@
+"""Extension benchmark: multi-GPU strong scaling (Section 10 future work)."""
+
+import pytest
+
+from repro.bench import BenchTable
+from repro.gpu.multi import MultiGPUSimulator, MultiGPUSpec, liteform_compose_fn
+
+J = 256
+GPU_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def scaling_results(gnn_graphs, liteform):
+    compose = liteform_compose_fn(liteform)
+    out = {}
+    for graph in ("reddit", "cora"):
+        A = gnn_graphs[graph]
+        rows = []
+        for g in GPU_COUNTS:
+            r = MultiGPUSimulator(MultiGPUSpec(num_gpus=g)).measure(A, J, compose)
+            rows.append((g, r))
+        out[graph] = rows
+    return out
+
+
+def test_ext_multigpu_strong_scaling(benchmark, scaling_results):
+    results = benchmark.pedantic(lambda: scaling_results, rounds=1, iterations=1)
+    table = BenchTable(
+        "Extension: multi-GPU SpMM strong scaling (LiteForm-composed shards)",
+        ["graph", "gpus", "total_ms", "compute_ms", "comm_ms", "speedup", "balance"],
+    )
+    for graph, rows in results.items():
+        base = rows[0][1].total_s
+        for g, r in rows:
+            table.add_row(
+                graph,
+                g,
+                r.total_s * 1e3,
+                r.compute_s * 1e3,
+                (r.broadcast_s + r.gather_s) * 1e3,
+                base / r.total_s,
+                r.balance,
+            )
+    table.emit()
+
+    # Shape: the big graph gains from 4 GPUs; the tiny one does not.
+    reddit = results["reddit"]
+    base = reddit[0][1].total_s
+    t4 = next(r for g, r in reddit if g == 4).total_s
+    assert t4 < base
+    cora = results["cora"]
+    t8 = next(r for g, r in cora if g == 8).total_s
+    assert t8 > cora[0][1].total_s * 0.9  # no meaningful gain on tiny input
+
+
+def test_ext_multigpu_compute_monotone(benchmark, scaling_results):
+    """More GPUs never make the compute phase meaningfully slower (2%
+    tolerance: shard boundaries shift the per-shard composition)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for graph, rows in scaling_results.items():
+        compute = [r.compute_s for _, r in rows]
+        for earlier, later in zip(compute, compute[1:]):
+            assert later <= earlier * 1.02, graph

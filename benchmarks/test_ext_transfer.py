@@ -1,0 +1,80 @@
+"""Extension benchmark: cross-device transfer learning (Section 8).
+
+The paper's stated limitation: LiteForm's predictors are device-specific
+and retraining for a new architecture costs hours; it suggests transfer
+learning as the fix.  This benchmark quantifies both halves on the
+simulated V100 -> A100 pair:
+
+* a V100-trained partition predictor degrades on A100-optimal labels
+  (the bigger L2 and bandwidth shift the partition trade-off);
+* :func:`repro.core.transfer.transfer_fit` with a *small* A100 sample
+  recovers most of the gap at a fraction of the retraining cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import BenchTable
+from repro.core import LiteForm, generate_training_data
+from repro.core.transfer import transfer_training_data
+from repro.gpu import A100, SimulatedDevice
+from repro.matrices import SuiteSparseLikeCollection
+from repro.ml import RandomForestClassifier, accuracy_score
+
+
+def _partition_accuracy(model_data, eval_data) -> float:
+    model = RandomForestClassifier(n_estimators=50, seed=0)
+    model.fit(model_data.partition_X, model_data.partition_y)
+    pred = model.predict(eval_data.partition_X)
+    return accuracy_score(eval_data.partition_y, pred)
+
+
+@pytest.fixture(scope="module")
+def transfer_results(training_data):
+    """training_data is the session V100 history; generate A100 labels."""
+    a100 = SimulatedDevice(spec=A100)
+    target_small = generate_training_data(
+        SuiteSparseLikeCollection(size=12, max_rows=20_000, seed=909),
+        device=a100,
+        J_values=(32, 128, 512),
+    )
+    eval_set = generate_training_data(
+        SuiteSparseLikeCollection(size=16, max_rows=20_000, seed=910),
+        device=a100,
+        J_values=(32, 128, 512),
+    )
+    source_only = _partition_accuracy(training_data, eval_set)
+    target_only = _partition_accuracy(target_small, eval_set)
+    transferred = _partition_accuracy(
+        transfer_training_data(training_data, target_small, target_weight=4), eval_set
+    )
+    return {
+        "source_only": source_only,
+        "target_only": target_only,
+        "transferred": transferred,
+        "target_samples": len(target_small.partition_samples),
+        "source_samples": len(training_data.partition_samples),
+    }
+
+
+def test_ext_transfer_learning(benchmark, transfer_results):
+    r = benchmark.pedantic(lambda: transfer_results, rounds=1, iterations=1)
+    table = BenchTable(
+        "Extension: V100 -> A100 transfer learning (partition predictor)",
+        ["model", "training samples", "A100 accuracy"],
+    )
+    table.add_row("V100 source only", r["source_samples"], r["source_only"])
+    table.add_row("small A100 set only", r["target_samples"], r["target_only"])
+    table.add_row(
+        "transfer (source + 4x target)",
+        f"{r['source_samples']}+{r['target_samples']}",
+        r["transferred"],
+    )
+    table.emit()
+
+    # Shape: the combined model is at least as good as either ingredient
+    # alone (within noise), using an order of magnitude fewer target-device
+    # measurements than full retraining.
+    assert r["transferred"] >= r["source_only"] - 0.05
+    assert r["transferred"] >= r["target_only"] - 0.05
+    assert r["target_samples"] < r["source_samples"] / 3

@@ -1,0 +1,61 @@
+"""Extension benchmark: the prediction-vs-search frontier.
+
+Places LiteForm on the (construction overhead, delivered SpMM time) plane
+against search strategies of increasing budget — random-4, hill-climb,
+exhaustive.  The paper's pitch in one plot: prediction reaches
+search-quality execution at orders of magnitude less construction cost.
+"""
+
+import pytest
+
+from repro.baselines import LiteFormBaseline
+from repro.bench import BenchTable, geomean
+from repro.matrices import SuiteSparseLikeCollection
+from repro.tuning import ExhaustiveTuner, HillClimbTuner, RandomSearchTuner
+
+J = 128
+
+
+@pytest.fixture(scope="module")
+def frontier_results(liteform, device):
+    matrices = [
+        e.matrix
+        for e in SuiteSparseLikeCollection(size=6, min_rows=2000, max_rows=8000, seed=515)
+    ]
+    strategies = {
+        "random-4": RandomSearchTuner(budget=4, seed=0, device=device),
+        "hill-climb": HillClimbTuner(device=device),
+        "exhaustive": ExhaustiveTuner(device=device),
+    }
+    rows = {name: {"time": [], "overhead": []} for name in (*strategies, "liteform")}
+    lf = LiteFormBaseline(liteform, force_cell=True)
+    for A in matrices:
+        for name, tuner in strategies.items():
+            res = tuner.tune(A, J)
+            rows[name]["time"].append(res.best.time_s)
+            rows[name]["overhead"].append(res.overhead_s)
+        prep = lf.prepare(A, J, device)
+        rows["liteform"]["time"].append(lf.measure(prep, J, device).time_s)
+        rows["liteform"]["overhead"].append(prep.construction_overhead_s)
+    return rows
+
+
+def test_ext_prediction_vs_search_frontier(benchmark, frontier_results):
+    rows = benchmark.pedantic(lambda: frontier_results, rounds=1, iterations=1)
+    table = BenchTable(
+        "Extension: prediction vs search (geomeans over 6 matrices)",
+        ["strategy", "delivered time (ms)", "construction overhead (s)"],
+    )
+    for name, r in rows.items():
+        table.add_row(name, geomean(r["time"]) * 1e3, geomean(r["overhead"]))
+    table.emit()
+
+    t = {name: geomean(r["time"]) for name, r in rows.items()}
+    o = {name: geomean(r["overhead"]) for name, r in rows.items()}
+    # Search quality improves with budget...
+    assert t["exhaustive"] <= t["random-4"] * 1.001
+    # ...but LiteForm reaches near-exhaustive quality...
+    assert t["liteform"] <= t["exhaustive"] * 1.6
+    # ...at a tiny fraction of every search strategy's cost.
+    for name in ("random-4", "hill-climb", "exhaustive"):
+        assert o["liteform"] < o[name] / 10

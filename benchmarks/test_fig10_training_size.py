@@ -1,0 +1,67 @@
+"""Figure 10: prediction accuracy vs training-set size.
+
+The Random Forest models cross 80% accuracy with a few hundred samples and
+approach 90% as the set grows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import BenchTable
+from repro.ml import RandomForestClassifier, accuracy_score, train_test_split
+
+FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _learning_curve(X, y, seed=0):
+    Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25, seed=seed)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(Xtr))
+    out = []
+    for frac in FRACTIONS:
+        k = max(5, int(round(len(Xtr) * frac)))
+        idx = order[:k]
+        if np.unique(ytr[idx]).size < 2:
+            out.append((k, float("nan")))
+            continue
+        model = RandomForestClassifier(n_estimators=50, seed=0).fit(Xtr[idx], ytr[idx])
+        out.append((k, accuracy_score(yte, model.predict(Xte))))
+    return out
+
+
+@pytest.fixture(scope="module")
+def fig10_results(training_data):
+    fmt_curve = _learning_curve(
+        training_data.format_X, training_data.format_y.astype(int)
+    )
+    part_curve = _learning_curve(training_data.partition_X, training_data.partition_y)
+    return fmt_curve, part_curve
+
+
+def test_fig10_accuracy_vs_training_size(benchmark, fig10_results):
+    fmt_curve, part_curve = benchmark.pedantic(
+        lambda: fig10_results, rounds=1, iterations=1
+    )
+    table = BenchTable(
+        "Figure 10: prediction accuracy vs training-set size (Random Forest)",
+        ["series", *(f"{int(f*100)}%" for f in FRACTIONS)],
+    )
+    table.add_row("format selection (n)", *(str(k) for k, _ in fmt_curve))
+    table.add_row("format selection acc", *(a for _, a in fmt_curve))
+    table.add_row("num partitions (n)", *(str(k) for k, _ in part_curve))
+    table.add_row("num partitions acc", *(a for _, a in part_curve))
+    table.emit()
+
+    # Shape: accuracy does not degrade with more data, and the full-set
+    # model is usefully accurate on both tasks.
+    for curve in (fmt_curve, part_curve):
+        accs = [a for _, a in curve if np.isfinite(a)]
+        assert accs[-1] >= accs[0] - 0.1  # monotone-ish within noise
+        assert accs[-1] > 0.6
+
+
+def test_fig10_partition_task_reaches_high_accuracy(benchmark, fig10_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _, part_curve = fig10_results
+    final = part_curve[-1][1]
+    assert final > 0.65  # paper approaches ~0.9 with 4000+ samples

@@ -1,0 +1,76 @@
+"""Figure 11: cost-model fidelity on the reddit stand-in.
+
+Sweeping the maximum bucket width, the cost-model value, the simulated GPU
+compute throughput, and the execution time are plotted together (normalized)
+— the width minimizing the cost also minimizes time and maximizes
+throughput.  The paper's optimum for reddit is 2^8 on the full-size graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import BenchTable
+from repro.core import matrix_cost_profiles
+from repro.formats import CELLFormat
+from repro.kernels import CELLSpMM
+from repro.bench.harness import scaled_device
+
+FIG11_J = 128
+
+
+@pytest.fixture(scope="module")
+def fig11_results(gnn_graphs):
+    A = gnn_graphs["reddit"]
+    dev = scaled_device("reddit")
+    profile = matrix_cost_profiles(A, 1)[0]
+    kernel = CELLSpMM()
+    rows = []
+    for exp in range(profile.natural_max_exp + 1):
+        fmt = CELLFormat.from_csr(A, num_partitions=1, max_widths=1 << exp)
+        m = kernel.measure(fmt, FIG11_J, dev)
+        rows.append(
+            {
+                "exp": exp,
+                "cost": profile.cost(exp, FIG11_J),
+                "time_s": m.time_s,
+                "throughput": m.compute_throughput,
+            }
+        )
+    return rows
+
+
+def test_fig11_cost_model_tracks_performance(benchmark, fig11_results):
+    rows = benchmark.pedantic(lambda: fig11_results, rounds=1, iterations=1)
+    costs = np.array([r["cost"] for r in rows])
+    times = np.array([r["time_s"] for r in rows])
+    thr = np.array([r["throughput"] for r in rows])
+    table = BenchTable(
+        "Figure 11: cost value vs GPU throughput vs execution time (reddit)",
+        ["max_width", "cost (norm)", "throughput (norm)", "time (norm)"],
+    )
+    for r, c, t, th in zip(rows, costs / costs.max(), times / times.max(), thr / thr.max()):
+        table.add_row(f"2^{r['exp']}", c, th, t)
+    table.emit()
+
+    best_cost = int(np.argmin(costs))
+    best_time = int(np.argmin(times))
+    best_thr = int(np.argmax(thr))
+    print(
+        f"  argmin cost = 2^{rows[best_cost]['exp']}, argmin time = 2^{rows[best_time]['exp']}, "
+        f"argmax throughput = 2^{rows[best_thr]['exp']}"
+    )
+
+    # The paper's claim: the minimum-cost width delivers (near-)optimal
+    # performance and peak throughput.
+    assert abs(best_cost - best_time) <= 1
+    assert times[best_cost] <= times.min() * 1.1
+    assert thr[best_cost] >= thr.max() * 0.9
+
+
+def test_fig11_cost_and_time_strongly_correlated(benchmark, fig11_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    costs = np.array([r["cost"] for r in fig11_results])
+    times = np.array([r["time_s"] for r in fig11_results])
+    r = np.corrcoef(costs, times)[0, 1]
+    print(f"\n  Pearson r(cost, time) = {r:.3f}")
+    assert r > 0.9

@@ -1,0 +1,72 @@
+"""Figure 7: LiteForm vs optimal-tuned SparseTIR over the collection.
+
+The paper reports a geometric-mean speedup of 0.99x (range 0.19x-5.21x)
+relative to SparseTIR tuned with its full exhaustive search — i.e.
+LiteForm's millisecond prediction matches hours of tuning on average, but
+individual matrices land on both sides.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LiteFormBaseline, SparseTIRBaseline
+from repro.bench import BenchTable, geomean
+
+FIG7_J = 128
+
+
+@pytest.fixture(scope="module")
+def fig7_results(collection, liteform, device):
+    """Per-matrix (rows, t_sparsetir / t_liteform)."""
+    lf = LiteFormBaseline(liteform)
+    out = []
+    for entry in collection:
+        A = entry.matrix
+        tir_prep = SparseTIRBaseline().prepare(A, FIG7_J, device)
+        t_tir = SparseTIRBaseline().measure(tir_prep, FIG7_J, device).time_s
+        lf_prep = lf.prepare(A, FIG7_J, device)
+        t_lf = lf.measure(lf_prep, FIG7_J, device).time_s
+        out.append((entry.name, entry.num_rows, t_tir / t_lf))
+    return out
+
+
+def test_fig7_liteform_vs_optimal_sparsetir(benchmark, fig7_results):
+    results = benchmark.pedantic(lambda: fig7_results, rounds=1, iterations=1)
+    speedups = np.array([s for _, _, s in results])
+    table = BenchTable(
+        "Figure 7: LiteForm speedup relative to optimal-tuned SparseTIR",
+        ["statistic", "measured", "paper"],
+    )
+    table.add_row("geomean", geomean(speedups), 0.99)
+    table.add_row("min", float(speedups.min()), 0.19)
+    table.add_row("max", float(speedups.max()), 5.21)
+    table.add_row("matrices", len(results), 1351)
+    table.emit()
+    from repro.bench.ascii_plot import scatter
+
+    print(
+        scatter(
+            [r for _, r, _ in results],
+            [s for _, _, s in results],
+            hline=1.0,
+            title="Figure 7 (scatter): speedup vs SparseTIR over matrix size",
+            xlabel="rows (log)",
+            ylabel="speedup (log)",
+        )
+    )
+    print("  per-matrix (rows, speedup):")
+    for name, rows, s in sorted(results, key=lambda r: r[1]):
+        print(f"    {name:32s} rows={rows:7d} speedup={s:6.2f}")
+
+    # Shape: near parity on average, with spread on both sides of 1.0.
+    gm = geomean(speedups)
+    assert 0.6 < gm < 1.5
+    assert speedups.min() < 0.95
+    assert speedups.max() > 1.05
+
+
+def test_fig7_spread_is_wide(benchmark, fig7_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The scatter is not degenerate: at least a 2x spread end to end."""
+    speedups = np.array([s for _, _, s in fig7_results])
+    assert speedups.max() / speedups.min() > 2.0

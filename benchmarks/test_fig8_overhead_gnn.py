@@ -1,0 +1,67 @@
+"""Figure 8: format-construction overhead on the GNN graphs.
+
+Paper: SparseTIR's auto-tuning and STile's microbenchmark search cost
+geometric means of 65.5x and 42.3x LiteForm's construction overhead,
+respectively (both orders of magnitude in absolute seconds on the largest
+graphs).
+"""
+
+import pytest
+
+from repro.baselines import LiteFormBaseline, SparseTIRBaseline, STileBaseline
+from repro.bench import BenchTable, geomean
+from repro.bench.harness import scaled_device
+
+FIG8_J = 128
+
+
+@pytest.fixture(scope="module")
+def fig8_results(gnn_graphs, liteform):
+    out = {}
+    for graph, A in gnn_graphs.items():
+        dev = scaled_device(graph)
+        o_tir = SparseTIRBaseline().prepare(A, FIG8_J, dev).construction_overhead_s
+        o_stile = STileBaseline().prepare(A, FIG8_J, dev).construction_overhead_s
+        o_lf = LiteFormBaseline(liteform).prepare(A, FIG8_J, dev).construction_overhead_s
+        out[graph] = {"sparsetir": o_tir, "stile": o_stile, "liteform": o_lf}
+    return out
+
+
+def test_fig8_construction_overhead(benchmark, fig8_results):
+    results = benchmark.pedantic(lambda: fig8_results, rounds=1, iterations=1)
+    table = BenchTable(
+        "Figure 8: format construction overhead (seconds)",
+        ["graph", "sparsetir", "stile", "liteform", "tir/lf", "stile/lf"],
+    )
+    tir_ratios, stile_ratios = [], []
+    for graph, row in results.items():
+        tir_ratio = row["sparsetir"] / row["liteform"]
+        stile_ratio = row["stile"] / row["liteform"]
+        tir_ratios.append(tir_ratio)
+        stile_ratios.append(stile_ratio)
+        table.add_row(
+            graph, row["sparsetir"], row["stile"], row["liteform"], tir_ratio, stile_ratio
+        )
+    table.add_row("GEOMEAN", "-", "-", "-", geomean(tir_ratios), geomean(stile_ratios))
+    table.add_row("paper", "-", "-", "-", 65.5, 42.3)
+    table.emit()
+
+    # Shape: both tuners cost at least an order of magnitude more than
+    # LiteForm's inference + search on every graph.
+    for graph, row in results.items():
+        assert row["sparsetir"] > 10 * row["liteform"], graph
+        assert row["stile"] > 5 * row["liteform"], graph
+    assert geomean(tir_ratios) > 20
+    assert geomean(stile_ratios) > 10
+    # SparseTIR's exhaustive search is the most expensive of the three.
+    assert geomean(tir_ratios) > geomean(stile_ratios)
+
+
+def test_fig8_liteform_overhead_is_lightweight(benchmark, fig8_results):
+    """LiteForm's whole composition runs in seconds at most — the
+    'lightweight' claim of the title.  (The bound is loose because this is
+    real single-core wall-clock work, unlike the tuners' simulated GPU
+    time; on the paper's 20-core host it is sub-second.)"""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for graph, row in fig8_results.items():
+        assert row["liteform"] < 3.0, graph

@@ -1,0 +1,64 @@
+"""Figure 9: construction overhead, SparseTIR vs LiteForm, over the
+collection.  Paper: geometric-mean ratio 1150.2x."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LiteFormBaseline, SparseTIRBaseline
+from repro.bench import BenchTable, geomean
+
+FIG9_J = 128
+
+
+@pytest.fixture(scope="module")
+def fig9_results(collection, liteform, device):
+    out = []
+    for entry in collection:
+        A = entry.matrix
+        o_tir = SparseTIRBaseline().prepare(A, FIG9_J, device).construction_overhead_s
+        o_lf = LiteFormBaseline(liteform).prepare(A, FIG9_J, device).construction_overhead_s
+        out.append((entry.name, entry.num_rows, o_tir, o_lf))
+    return out
+
+
+def test_fig9_overhead_vs_matrix_size(benchmark, fig9_results):
+    results = benchmark.pedantic(lambda: fig9_results, rounds=1, iterations=1)
+    ratios = np.array([o_tir / o_lf for _, _, o_tir, o_lf in results])
+    table = BenchTable(
+        "Figure 9: construction overhead over the collection (seconds)",
+        ["statistic", "measured", "paper"],
+    )
+    table.add_row("geomean ratio sparsetir/liteform", geomean(ratios), 1150.2)
+    table.add_row("min ratio", float(ratios.min()), "-")
+    table.add_row("max ratio", float(ratios.max()), "-")
+    table.add_row("matrices", len(results), 1351)
+    table.emit()
+    from repro.bench.ascii_plot import scatter
+
+    print(
+        scatter(
+            [rows for _, rows, _, _ in results] * 2,
+            [o for _, _, o, _ in results] + [o for _, _, _, o in results],
+            title="Figure 9 (scatter): construction overhead vs matrix size "
+            "(upper band = SparseTIR, lower = LiteForm)",
+            xlabel="rows (log)",
+            ylabel="seconds (log)",
+        )
+    )
+    print("  per-matrix (rows, sparsetir_s, liteform_s):")
+    for name, rows, o_tir, o_lf in sorted(results, key=lambda r: r[1]):
+        print(f"    {name:32s} rows={rows:7d} sparsetir={o_tir:9.2f}s liteform={o_lf:8.4f}s")
+
+    # Shape: SparseTIR's overhead is orders of magnitude above LiteForm's
+    # in most cases (the Fig. 9 scatter lives 2-4 decades up).
+    gm = geomean(ratios)
+    assert gm > 100
+    assert (ratios > 10).mean() > 0.9
+
+
+def test_fig9_liteform_overhead_scales_gently(benchmark, fig9_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """LiteForm's overhead grows roughly linearly with matrix size, staying
+    below a second even for the largest collection entries."""
+    for name, _, _, o_lf in fig9_results:
+        assert o_lf < 1.5, name

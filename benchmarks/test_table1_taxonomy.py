@@ -1,0 +1,27 @@
+"""Table 1: prior work taxonomy (regenerated from the encoded rows)."""
+
+from repro.baselines.taxonomy import TABLE1, liteform_row
+from repro.bench import BenchTable
+
+
+def test_table1_prior_work(benchmark):
+    def build():
+        table = BenchTable(
+            "Table 1: prior work on sparse computation on GPUs",
+            ["system", "category", "auto-select", "pattern-aware", "overhead"],
+        )
+        for r in TABLE1:
+            table.add_row(
+                r.system,
+                r.category,
+                "yes" if r.automatic_selection else "no",
+                "yes" if r.sparsity_pattern_aware else "no",
+                r.construction_overhead,
+            )
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    table.emit()
+    lf = liteform_row()
+    assert lf.automatic_selection and lf.sparsity_pattern_aware
+    assert lf.construction_overhead == "low"

@@ -1,0 +1,47 @@
+"""Table 4: the input sparse matrices (GNN stand-ins + collection summary)."""
+
+import numpy as np
+
+from repro.bench import BenchTable
+from repro.matrices import GNN_DATASETS
+
+
+def test_table4_dataset_statistics(benchmark, gnn_graphs, collection):
+    def build_table():
+        table = BenchTable(
+            "Table 4: sparse matrices information (stand-ins, see DESIGN.md)",
+            ["graph", "#nodes", "#edges", "density", "paper_density", "scale"],
+        )
+        for name, A in gnn_graphs.items():
+            spec = GNN_DATASETS[name]
+            density = A.nnz / (A.shape[0] * A.shape[1])
+            table.add_row(name, A.shape[0], A.nnz, density, spec.density, spec.scale)
+        densities = [e.density for e in collection]
+        rows = [e.num_rows for e in collection]
+        table.add_row(
+            f"collection({len(collection)})",
+            f"{min(rows)}-{max(rows)}",
+            f"{min(e.nnz for e in collection)}-{max(e.nnz for e in collection)}",
+            f"{min(densities):.1e}-{max(densities):.1e}",
+            "8.7e-07-0.1",
+            1,
+        )
+        return table
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    table.emit()
+
+    # Shape assertions: stand-in densities track Table 4 within 30%.
+    for name, A in gnn_graphs.items():
+        spec = GNN_DATASETS[name]
+        density = A.nnz / (A.shape[0] * A.shape[1])
+        assert density == np.float64(density)
+        assert abs(density - spec.density) / spec.density < 0.3, name
+    # Collection spans several orders of magnitude of density (the paper's
+    # 1,351 matrices span 8.7e-7-0.1; a 48-matrix sample at <=30k rows
+    # covers a proportionate slice).
+    densities = [e.density for e in collection]
+    assert max(densities) / min(densities) > 3e2
+    # The paper's filter: every matrix has >= 2000 rows (rmat rounds down
+    # to a power of two, so allow its one-level slack).
+    assert min(e.num_rows for e in collection) >= 1000

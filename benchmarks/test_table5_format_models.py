@@ -1,0 +1,107 @@
+"""Table 5: ML-model comparison for the CELL-benefit predictor.
+
+Trains the ten classifiers on the Table 2 features with the 1.1x labels,
+80/20 split, and reports training time, inference time, and micro-averaged
+accuracy/precision/recall/F1 (which coincide — the Table 5 signature).
+Paper: Random Forest best at 88.92%; Naive Bayes worst at 63.30%;
+Gaussian Process slowest to train by orders of magnitude.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import BenchTable
+from repro.ml import (
+    CLASSIFIER_NAMES,
+    accuracy_score,
+    f1_score,
+    make_classifier_zoo,
+    precision_score,
+    recall_score,
+    train_test_split,
+)
+
+PAPER_ACCURACY = {
+    "Random Forest": 0.8892,
+    "KNeighbors": 0.7931,
+    "Linear SVM": 0.6700,
+    "RBF SVM": 0.7340,
+    "Gaussian Process": 0.8424,
+    "Decision Tree": 0.8596,
+    "Neural Net": 0.6650,
+    "AdaBoost": 0.8645,
+    "Naive Bayes": 0.6330,
+    "QDA": 0.6675,
+}
+
+
+@pytest.fixture(scope="module")
+def table5_results(training_data):
+    X = training_data.format_X
+    y = training_data.format_y.astype(int)
+    Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.2, seed=0)
+    rows = {}
+    for name, factory in make_classifier_zoo(seed=0).items():
+        model = factory()
+        t0 = time.perf_counter()
+        model.fit(Xtr, ytr)
+        t_train = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pred = model.predict(Xte)
+        t_infer = time.perf_counter() - t0
+        rows[name] = {
+            "train_s": t_train,
+            "infer_s": t_infer,
+            "accuracy": accuracy_score(yte, pred),
+            "precision": precision_score(yte, pred),
+            "recall": recall_score(yte, pred),
+            "f1": f1_score(yte, pred),
+        }
+    return rows
+
+
+def test_table5_model_comparison(benchmark, table5_results):
+    rows = benchmark.pedantic(lambda: table5_results, rounds=1, iterations=1)
+    table = BenchTable(
+        "Table 5: classifiers predicting CELL performance benefit",
+        ["name", "train(s)", "infer(s)", "acc", "prec", "recall", "f1", "paper_acc"],
+    )
+    for name in CLASSIFIER_NAMES:
+        r = rows[name]
+        table.add_row(
+            name,
+            r["train_s"],
+            r["infer_s"],
+            r["accuracy"],
+            r["precision"],
+            r["recall"],
+            r["f1"],
+            PAPER_ACCURACY[name],
+        )
+    table.emit()
+
+    # Micro-averaged P/R/F1 equal accuracy (the identical-columns signature).
+    for r in rows.values():
+        assert r["precision"] == pytest.approx(r["accuracy"])
+        assert r["f1"] == pytest.approx(r["accuracy"])
+
+    # Shape: ensemble trees sit at the top, simple generative models at the
+    # bottom, and the forest is deployable-accurate.
+    rf = rows["Random Forest"]["accuracy"]
+    assert rf > 0.7
+    assert rf >= rows["Naive Bayes"]["accuracy"]
+    tree_family = max(rows[n]["accuracy"] for n in ("Random Forest", "Decision Tree", "AdaBoost"))
+    weak_family = min(rows[n]["accuracy"] for n in ("Random Forest", "Decision Tree", "AdaBoost"))
+    assert tree_family >= rows["Naive Bayes"]["accuracy"]
+    assert weak_family > 0.5
+
+
+def test_table5_training_costs(benchmark, table5_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Training-cost ordering: Naive Bayes/KNN near-free; the forest takes
+    well under a minute (paper: 0.29 s)."""
+    rows = table5_results
+    assert rows["Naive Bayes"]["train_s"] < rows["Random Forest"]["train_s"]
+    assert rows["KNeighbors"]["train_s"] < rows["Random Forest"]["train_s"]
+    assert rows["Random Forest"]["train_s"] < 60.0

@@ -1,0 +1,116 @@
+"""Table 6: ML-model comparison for the partition-count predictor.
+
+Same ten classifiers on the Table 3 density features, with the cosine
+similarity of Eq. 2 (per-matrix vectors of predicted vs actual partition
+counts across dense widths) as the extra column.  Paper: Random Forest
+87.30% / cos 0.77; most kernel/linear models collapse to the majority
+class (~82%, cos 0.25); QDA fails outright (0.21%).
+"""
+
+import time
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.bench import BenchTable, geomean
+from repro.ml import (
+    CLASSIFIER_NAMES,
+    accuracy_score,
+    cosine_similarity,
+    make_classifier_zoo,
+    partition_similarity,
+)
+
+PAPER = {
+    "Random Forest": (0.8730, 0.77),
+    "KNeighbors": (0.8298, 0.23),
+    "Linear SVM": (0.8245, 0.25),
+    "RBF SVM": (0.8256, 0.25),
+    "Gaussian Process": (0.8256, 0.25),
+    "Decision Tree": (0.8540, 0.77),
+    "Neural Net": (0.8245, 0.25),
+    "AdaBoost": (0.8213, 0.25),
+    "Naive Bayes": (0.5641, 0.29),
+    "QDA": (0.0021, 0.25),
+}
+
+
+def _split_by_matrix(samples, test_frac=0.2, seed=0):
+    """Split partition samples by *matrix* so one matrix's J-sweep stays on
+    one side — needed for the per-matrix cosine similarity of Eq. 2."""
+    names = sorted({s.name for s in samples})
+    rng = np.random.default_rng(seed)
+    rng.shuffle(names)
+    n_test = max(1, int(round(len(names) * test_frac)))
+    test_names = set(names[:n_test])
+    train = [s for s in samples if s.name not in test_names]
+    test = [s for s in samples if s.name in test_names]
+    return train, test
+
+
+@pytest.fixture(scope="module")
+def table6_results(training_data):
+    train, test = _split_by_matrix(training_data.partition_samples)
+    Xtr = np.vstack([s.features for s in train])
+    ytr = np.array([s.best_partitions for s in train])
+    Xte = np.vstack([s.features for s in test])
+    yte = np.array([s.best_partitions for s in test])
+    rows = {}
+    for name, factory in make_classifier_zoo(seed=0).items():
+        model = factory()
+        t0 = time.perf_counter()
+        model.fit(Xtr, ytr)
+        t_train = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pred = model.predict(Xte)
+        t_infer = time.perf_counter() - t0
+        # Eq. 2: cosine similarity of the per-matrix partition vectors.
+        by_matrix = defaultdict(lambda: ([], []))
+        for s, p in zip(test, pred):
+            by_matrix[s.name][0].append(s.best_partitions)
+            by_matrix[s.name][1].append(int(p))
+        cos = np.mean(
+            [cosine_similarity(np.array(a), np.array(b)) for a, b in by_matrix.values()]
+        )
+        # Eq. 1: mean relative-difference similarity per sample.
+        eq1 = np.mean([partition_similarity(int(p), int(t)) for p, t in zip(pred, yte)])
+        rows[name] = {
+            "train_s": t_train,
+            "infer_s": t_infer,
+            "accuracy": accuracy_score(yte, pred),
+            "cos_sim": float(cos),
+            "eq1_sim": float(eq1),
+        }
+    return rows
+
+
+def test_table6_model_comparison(benchmark, table6_results):
+    rows = benchmark.pedantic(lambda: table6_results, rounds=1, iterations=1)
+    table = BenchTable(
+        "Table 6: classifiers predicting the optimal number of partitions",
+        ["name", "train(s)", "infer(s)", "acc", "cos_sim", "eq1_sim", "paper_acc", "paper_cos"],
+    )
+    for name in CLASSIFIER_NAMES:
+        r = rows[name]
+        pa, pc = PAPER[name]
+        table.add_row(
+            name, r["train_s"], r["infer_s"], r["accuracy"], r["cos_sim"], r["eq1_sim"], pa, pc
+        )
+    table.emit()
+
+    rf = rows["Random Forest"]
+    # The adopted model is accurate and similar to ground truth.
+    assert rf["accuracy"] > 0.6
+    assert rf["cos_sim"] > 0.6
+    # Tree models track the ground-truth vectors at least as well as the
+    # majority-collapsing baselines (the paper's cos 0.77 vs 0.25 gap).
+    assert rf["cos_sim"] >= rows["Naive Bayes"]["cos_sim"] - 0.05
+
+
+def test_table6_similarity_vs_accuracy(benchmark, table6_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Eq. 1 similarity upper-bounds raw accuracy: wrong-but-close
+    predictions earn partial credit (the motivation of Section 5.2)."""
+    for name, r in table6_results.items():
+        assert r["eq1_sim"] >= r["accuracy"] - 1e-9, name

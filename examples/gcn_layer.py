@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""A two-layer GCN forward pass built on the library's sparse kernels.
+
+The paper's introduction motivates SpMM with graph neural networks; this
+example closes the loop by implementing an actual GCN forward pass
+(Kipf & Welling) whose sparse aggregations run through LiteForm-composed
+CELL formats, plus an attention-score step using the SDDMM extension:
+
+    H1 = ReLU(A_hat @ (X W0))          # SpMM aggregation, layer 1
+    S  = A .* (H1 @ H1^T)              # SDDMM edge scores (attention-style)
+    H2 = softmax(A_hat @ (H1 W1))      # SpMM aggregation, layer 2
+
+Run:  python examples/gcn_layer.py [graph]
+"""
+
+import sys
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core import LiteForm, generate_training_data
+from repro.formats.base import as_csr
+from repro.formats.cell import CELLFormat
+from repro.kernels.sddmm import CELLSDDMM
+from repro.matrices import GNN_DATASETS, SuiteSparseLikeCollection, make_gnn_standin
+
+
+def normalize(A):
+    A_hat = as_csr(A + sp.eye(A.shape[0], format="csr", dtype=np.float32))
+    d = np.asarray(A_hat.sum(axis=1)).ravel()
+    D = sp.diags(1.0 / np.sqrt(np.maximum(d, 1e-12))).astype(np.float32)
+    return as_csr(D @ A_hat @ D)
+
+
+def main() -> None:
+    graph = sys.argv[1] if len(sys.argv) > 1 else "cora"
+    if graph not in GNN_DATASETS:
+        raise SystemExit(f"unknown graph {graph!r}; choose from {sorted(GNN_DATASETS)}")
+    rng = np.random.default_rng(0)
+    A = make_gnn_standin(graph, seed=1)
+    A_hat = normalize(A)
+    n = A.shape[0]
+    f_in, f_hidden, f_out = 128, 64, 16
+    X = rng.standard_normal((n, f_in)).astype(np.float32)
+    W0 = (rng.standard_normal((f_in, f_hidden)) / np.sqrt(f_in)).astype(np.float32)
+    W1 = (rng.standard_normal((f_hidden, f_out)) / np.sqrt(f_hidden)).astype(np.float32)
+
+    print(f"{graph}: {n} nodes, {A.nnz} edges; GCN {f_in}->{f_hidden}->{f_out}")
+    print("training LiteForm (offline, amortized) ...")
+    lf = LiteForm().fit(
+        generate_training_data(
+            SuiteSparseLikeCollection(size=16, max_rows=8_000, seed=3), J_values=(32, 64)
+        )
+    )
+
+    total_ms = 0.0
+    # layer 1: aggregate
+    plan = lf.compose(A_hat, f_hidden)
+    H1, m = lf.run(plan, X @ W0)
+    H1 = np.maximum(H1, 0.0)
+    total_ms += m.time_ms
+    print(f"layer 1 SpMM: {m.time_ms:.3f} ms simulated "
+          f"(P={plan.num_partitions}, widths={plan.max_widths})")
+
+    # attention-style edge scores with SDDMM on the CELL format
+    cell = CELLFormat.from_csr(A, num_partitions=1)
+    scores = CELLSDDMM().execute(cell, (H1, H1))
+    m_sddmm = lf.device.measure(CELLSDDMM().plan(cell, f_hidden))
+    total_ms += m_sddmm.time_ms
+    print(f"edge-score SDDMM: {m_sddmm.time_ms:.3f} ms simulated "
+          f"({scores.nnz} scored edges)")
+
+    # layer 2: aggregate + softmax
+    plan2 = lf.compose(A_hat, f_out)
+    H2, m2 = lf.run(plan2, H1 @ W1)
+    total_ms += m2.time_ms
+    logits = H2 - H2.max(axis=1, keepdims=True)
+    probs = np.exp(logits)
+    probs /= probs.sum(axis=1, keepdims=True)
+    print(f"layer 2 SpMM: {m2.time_ms:.3f} ms simulated")
+
+    # sanity: valid distribution, finite activations
+    assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-5)
+    assert np.isfinite(H1).all() and np.isfinite(H2).all()
+    print(f"\nforward pass OK; total simulated sparse-kernel time {total_ms:.3f} ms")
+    print(f"output class distribution entropy: "
+          f"{-(probs * np.log(probs + 1e-12)).sum(axis=1).mean():.3f} nats")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Multi-GPU SpMM scaling — the Section 10 future-work item, implemented.
+
+Row-decomposes a large graph's SpMM across 1-8 simulated V100s (balanced
+by non-zeros), composes a CELL format per shard with LiteForm, and reports
+the strong-scaling curve including broadcast/gather communication.  Small
+inputs show the classic communication-bound crossover.
+
+Run:  python examples/multi_gpu_scaling.py
+"""
+
+import numpy as np
+
+from repro.core import LiteForm, generate_training_data
+from repro.gpu.multi import MultiGPUSimulator, MultiGPUSpec, liteform_compose_fn
+from repro.matrices import SuiteSparseLikeCollection, make_gnn_standin, power_law_graph
+
+J = 256
+
+
+def main() -> None:
+    print("training LiteForm (offline, amortized) ...")
+    training = generate_training_data(
+        SuiteSparseLikeCollection(size=16, max_rows=8_000, seed=13), J_values=(32, 256)
+    )
+    lf = LiteForm().fit(training)
+    compose = liteform_compose_fn(lf)
+
+    workloads = {
+        "reddit-standin": make_gnn_standin("reddit", seed=1),
+        "small-graph": power_law_graph(2_000, 8, seed=2),
+    }
+    for name, A in workloads.items():
+        print(f"\n{name}: {A.shape[0]} rows, {A.nnz} nnz, J={J}")
+        print(f"{'GPUs':>5s} {'total_ms':>10s} {'compute_ms':>11s} {'comm_ms':>9s} "
+              f"{'speedup':>8s} {'balance':>8s}")
+        base = None
+        for g in (1, 2, 4, 8):
+            sim = MultiGPUSimulator(MultiGPUSpec(num_gpus=g))
+            r = sim.measure(A, J, compose)
+            base = base or r.total_s
+            comm = r.broadcast_s + r.gather_s
+            print(f"{g:5d} {r.total_s*1e3:10.3f} {r.compute_s*1e3:11.3f} "
+                  f"{comm*1e3:9.3f} {base/r.total_s:8.2f} {r.balance:8.2f}")
+    print("\nLarge inputs scale until communication dominates; tiny inputs")
+    print("lose immediately — the standard strong-scaling crossover.")
+
+
+if __name__ == "__main__":
+    main()

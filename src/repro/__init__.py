@@ -1,0 +1,88 @@
+"""Reproduction of LiteForm (HPDC '25): lightweight automatic format
+composition for sparse matrix-matrix multiplication on (simulated) GPUs.
+
+High-level entry points:
+
+* :class:`repro.core.LiteForm` — the paper's pipeline (Figure 2);
+* :func:`repro.spmm` — one-call SpMM with any of the compared systems;
+* :mod:`repro.formats` — CELL and the classic sparse formats;
+* :mod:`repro.baselines` — the seven Section 7 comparison systems;
+* :mod:`repro.gpu` — the analytical V100 performance model.
+
+See README.md for a guided tour and DESIGN.md for the reproduction plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__version__ = "1.0.0"
+
+
+def spmm(
+    A: sp.spmatrix,
+    B: np.ndarray,
+    method: str = "cell",
+    device=None,
+    **format_kwargs,
+):
+    """One-call SpMM: ``C = A @ B`` through a chosen format/kernel pair.
+
+    Parameters
+    ----------
+    A, B:
+        Sparse matrix and dense operand.
+    method:
+        ``"cell"`` (CELL format, optionally with ``num_partitions`` /
+        ``max_widths``), ``"csr"``, ``"sputnik"``, ``"dgsparse"``,
+        ``"taco"``, ``"bcsr"``, ``"ell"``, or ``"sliced-ell"``.
+    device:
+        Optional :class:`repro.gpu.SimulatedDevice` for the measurement.
+
+    Returns
+    -------
+    (C, measurement):
+        The numeric product and the simulated-device measurement.
+    """
+    from repro.formats import (
+        BCSRFormat,
+        CELLFormat,
+        CSRFormat,
+        ELLFormat,
+        SlicedELLFormat,
+    )
+    from repro.formats.base import as_csr
+    from repro.gpu import SimulatedDevice
+    from repro.kernels import (
+        BCSRSpMM,
+        CELLSpMM,
+        DgSparseSpMM,
+        ELLSpMM,
+        RowSplitCSRSpMM,
+        SlicedELLSpMM,
+        SputnikSpMM,
+        TacoSpMM,
+    )
+
+    registry = {
+        "cell": (CELLFormat, CELLSpMM),
+        "csr": (CSRFormat, RowSplitCSRSpMM),
+        "sputnik": (CSRFormat, SputnikSpMM),
+        "dgsparse": (CSRFormat, DgSparseSpMM),
+        "taco": (CSRFormat, TacoSpMM),
+        "bcsr": (BCSRFormat, BCSRSpMM),
+        "ell": (ELLFormat, ELLSpMM),
+        "sliced-ell": (SlicedELLFormat, SlicedELLSpMM),
+    }
+    try:
+        fmt_cls, kernel_cls = registry[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {sorted(registry)}"
+        ) from None
+    fmt = fmt_cls.from_csr(as_csr(A), **format_kwargs)
+    return kernel_cls().run(fmt, np.asarray(B), device or SimulatedDevice())
+
+
+__all__ = ["spmm", "__version__"]

@@ -1,0 +1,42 @@
+"""Baseline SpMM systems of the paper's evaluation (Section 7).
+
+Each baseline reimplements the *scheduling strategy* of the corresponding
+system as a kernel on the simulated GPU, behind a uniform
+``prepare -> measure/execute`` interface that also accounts construction
+overhead (the quantity of Figures 8-9):
+
+* cuSPARSE, Sputnik, dgSPARSE — fixed CSR kernels;
+* Triton — block-sparse BSR kernel (OOMs on the large graphs, Fig. 6);
+* TACO — 36-point schedule sweep, best time reported (Section 7.1);
+* SparseTIR — composable ``hyb`` format with exhaustive auto-tuning;
+* STile — hybrid per-panel formats with microbenchmark-guided search;
+* LiteForm — this paper, wrapping :class:`repro.core.LiteForm`.
+"""
+
+from repro.baselines.base import BaselineSystem, PreparedInput
+from repro.baselines.fixed import (
+    CuSparseBaseline,
+    DgSparseBaseline,
+    SputnikBaseline,
+    TritonBaseline,
+)
+from repro.baselines.liteform import LiteFormBaseline
+from repro.baselines.registry import FIG6_BASELINES, make_baseline
+from repro.baselines.sparsetir import SparseTIRBaseline
+from repro.baselines.stile import STileBaseline
+from repro.baselines.taco import TacoBaseline
+
+__all__ = [
+    "BaselineSystem",
+    "PreparedInput",
+    "CuSparseBaseline",
+    "SputnikBaseline",
+    "DgSparseBaseline",
+    "TritonBaseline",
+    "TacoBaseline",
+    "SparseTIRBaseline",
+    "STileBaseline",
+    "LiteFormBaseline",
+    "FIG6_BASELINES",
+    "make_baseline",
+]

@@ -1,0 +1,117 @@
+"""Seer-style automatic format selection — Table 1's middle category.
+
+The paper's taxonomy places "Automatic Selection" systems (Seer, Auto-SpMV,
+SpTFS, IA-SpGEMM, AlphaSparse) between fixed formats and composable ones:
+an ML model picks the best *fixed* format per input, but one format must
+serve the whole matrix.  The paper argues this ceiling is what composable
+formats break through; this baseline makes that argument measurable.
+
+A Random Forest over the Table 2 features picks among four fixed
+format/kernel pairs; training labels come from simulated execution, like
+LiteForm's own training.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.base import BaselineSystem, PreparedInput
+from repro.formats.base import SparseFormat
+from repro.formats.bcsr import BCSRFormat
+from repro.formats.csr import CSRFormat
+from repro.formats.sliced_ell import SlicedELLFormat
+from repro.gpu.device import SimulatedDevice, SimulatedOOMError
+from repro.kernels.base import SpMMKernel
+from repro.kernels.bcsr_spmm import BCSRSpMM
+from repro.kernels.csr_spmm import RowSplitCSRSpMM, SputnikSpMM
+from repro.kernels.ell_spmm import SlicedELLSpMM
+from repro.matrices.features import format_selection_features
+from repro.ml.forest import RandomForestClassifier
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    key: str
+    build: object  # (csr_matrix) -> SparseFormat
+    kernel: object  # () -> SpMMKernel
+
+
+CANDIDATES: tuple[_Candidate, ...] = (
+    _Candidate("csr", lambda A: CSRFormat.from_csr(A), RowSplitCSRSpMM),
+    _Candidate("csr-swizzled", lambda A: CSRFormat.from_csr(A), SputnikSpMM),
+    _Candidate("bcsr", lambda A: BCSRFormat.from_csr(A, block_shape=(8, 8)), BCSRSpMM),
+    _Candidate(
+        "sliced-ell", lambda A: SlicedELLFormat.from_csr(A, slice_height=32), SlicedELLSpMM
+    ),
+)
+_BY_KEY = {c.key: c for c in CANDIDATES}
+
+
+class AutoSelectBaseline(BaselineSystem):
+    """ML-selected fixed format (one format for the whole matrix)."""
+
+    name = "autoselect"
+
+    def __init__(self, model=None):
+        self.model = model or RandomForestClassifier(n_estimators=50, seed=0)
+        self._fitted = False
+        self._constant: str | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, entries, device: SimulatedDevice, J_values=(32, 128)) -> "AutoSelectBaseline":
+        """Label each training matrix with its fastest fixed candidate."""
+        X, y = [], []
+        for entry in entries:
+            name, A = (entry if isinstance(entry, tuple) else (entry.name, entry.matrix))
+            if A.nnz == 0:
+                continue
+            best_key, best_time = None, float("inf")
+            for cand in CANDIDATES:
+                try:
+                    fmt = cand.build(A)
+                    t = float(
+                        np.mean([cand.kernel().measure(fmt, J, device).time_s for J in J_values])
+                    )
+                except SimulatedOOMError:
+                    continue
+                if t < best_time:
+                    best_key, best_time = cand.key, t
+            if best_key is None:
+                continue
+            X.append(format_selection_features(A))
+            y.append(best_key)
+        if not X:
+            raise ValueError("no usable training matrices")
+        y_arr = np.array(y)
+        if np.unique(y_arr).size < 2:
+            self._constant = str(y_arr[0])
+        else:
+            self.model.fit(np.vstack(X), y_arr)
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def prepare(self, A: sp.spmatrix, J: int, device: SimulatedDevice) -> PreparedInput:
+        if not self._fitted:
+            raise RuntimeError("AutoSelectBaseline.fit must run before prepare")
+        A = self._canonical(A)
+        t0 = time.perf_counter()
+        if self._constant is not None:
+            key = self._constant
+        else:
+            key = str(self.model.predict(format_selection_features(A)[None, :])[0])
+        cand = _BY_KEY[key]
+        fmt: SparseFormat = cand.build(A)
+        kernel: SpMMKernel = cand.kernel()
+        overhead = time.perf_counter() - t0
+        return PreparedInput(
+            system=self.name,
+            fmt=fmt,
+            kernel=kernel,
+            construction_overhead_s=overhead,
+            config={"selected": key},
+        )

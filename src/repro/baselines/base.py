@@ -1,0 +1,62 @@
+"""Uniform interface for the compared SpMM systems."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formats.base import SparseFormat, as_csr
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.stats import Measurement
+from repro.kernels.base import SpMMKernel
+
+
+@dataclass
+class PreparedInput:
+    """A matrix converted/tuned into a system's execution-ready form.
+
+    ``construction_overhead_s`` is the cost of getting here: wall-clock
+    seconds for work this reproduction actually performs (format conversion,
+    model inference, cost-model search) plus simulated seconds for work the
+    original systems spend on the GPU/compiler (auto-tuning trials, kernel
+    compilation, microbenchmarks).  Figures 8-9 compare exactly this
+    quantity across systems.
+    """
+
+    system: str
+    fmt: SparseFormat
+    kernel: SpMMKernel
+    construction_overhead_s: float
+    config: dict[str, Any] = field(default_factory=dict)
+
+
+class BaselineSystem(abc.ABC):
+    """One system of the Section 7 comparison."""
+
+    #: Display name used in figures (matches the paper's legends).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def prepare(self, A: sp.spmatrix, J: int, device: SimulatedDevice) -> PreparedInput:
+        """Convert (and, for tuners, auto-tune) the matrix for width ``J``."""
+
+    def measure(self, prepared: PreparedInput, J: int, device: SimulatedDevice) -> Measurement:
+        """Simulated execution time of the prepared input."""
+        return prepared.kernel.measure(prepared.fmt, J, device)
+
+    def execute(
+        self, prepared: PreparedInput, B: np.ndarray, device: SimulatedDevice
+    ) -> tuple[np.ndarray, Measurement]:
+        """Numeric result + simulated measurement."""
+        return prepared.kernel.run(prepared.fmt, B, device)
+
+    @staticmethod
+    def _canonical(A: sp.spmatrix) -> sp.csr_matrix:
+        return as_csr(A)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

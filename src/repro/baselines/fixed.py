@@ -1,0 +1,77 @@
+"""Fixed-format baselines: cuSPARSE, Sputnik, dgSPARSE, Triton."""
+
+from __future__ import annotations
+
+import time
+
+import scipy.sparse as sp
+
+from repro.baselines.base import BaselineSystem, PreparedInput
+from repro.formats.bcsr import BCSRFormat
+from repro.formats.csr import CSRFormat
+from repro.gpu.device import SimulatedDevice
+from repro.kernels.bcsr_spmm import BCSRSpMM
+from repro.kernels.csr_spmm import DgSparseSpMM, RowSplitCSRSpMM, SputnikSpMM
+
+
+class _FixedCSRBaseline(BaselineSystem):
+    """Shared plumbing for the CSR-based libraries: conversion only."""
+
+    kernel_cls = RowSplitCSRSpMM
+
+    def prepare(self, A: sp.spmatrix, J: int, device: SimulatedDevice) -> PreparedInput:
+        t0 = time.perf_counter()
+        fmt = CSRFormat.from_csr(self._canonical(A))
+        overhead = time.perf_counter() - t0
+        return PreparedInput(
+            system=self.name,
+            fmt=fmt,
+            kernel=self.kernel_cls(),
+            construction_overhead_s=overhead,
+        )
+
+
+class CuSparseBaseline(_FixedCSRBaseline):
+    """NVIDIA cuSPARSE: generic row-split CSR SpMM."""
+
+    name = "cusparse"
+    kernel_cls = RowSplitCSRSpMM
+
+
+class SputnikBaseline(_FixedCSRBaseline):
+    """Sputnik [Gale et al.]: row-swizzled, output-tiled CSR SpMM."""
+
+    name = "sputnik"
+    kernel_cls = SputnikSpMM
+
+
+class DgSparseBaseline(_FixedCSRBaseline):
+    """dgSPARSE: coalesced row-group CSR SpMM."""
+
+    name = "dgsparse"
+    kernel_cls = DgSparseSpMM
+
+
+class TritonBaseline(BaselineSystem):
+    """Triton block-sparse SpMM over BSR tiles.
+
+    Conversion to BSR inflates the footprint by the tile padding ratio;
+    the large Fig. 6 graphs exceed device memory (the OOM bars).
+    """
+
+    name = "triton"
+
+    def __init__(self, block_shape: tuple[int, int] = (16, 16)):
+        self.block_shape = block_shape
+
+    def prepare(self, A: sp.spmatrix, J: int, device: SimulatedDevice) -> PreparedInput:
+        t0 = time.perf_counter()
+        fmt = BCSRFormat.from_csr(self._canonical(A), block_shape=self.block_shape)
+        overhead = time.perf_counter() - t0
+        return PreparedInput(
+            system=self.name,
+            fmt=fmt,
+            kernel=BCSRSpMM(),
+            construction_overhead_s=overhead,
+            config={"block_shape": self.block_shape},
+        )

@@ -1,0 +1,39 @@
+"""LiteForm as a baseline-system wrapper (this paper's system)."""
+
+from __future__ import annotations
+
+import scipy.sparse as sp
+
+from repro.baselines.base import BaselineSystem, PreparedInput
+from repro.core.pipeline import LiteForm
+from repro.gpu.device import SimulatedDevice
+
+
+class LiteFormBaseline(BaselineSystem):
+    """Adapter exposing :class:`repro.core.LiteForm` through the baseline
+    interface, so figures sweep all systems uniformly.
+
+    Construction overhead is the *wall-clock* compose time — LiteForm's
+    whole point is that its construction does no kernel trials, so there is
+    no simulated-tuning component (Figures 8-9).
+    """
+
+    name = "liteform"
+
+    def __init__(self, liteform: LiteForm, force_cell: bool | None = None):
+        self.liteform = liteform
+        self.force_cell = force_cell
+
+    def prepare(self, A: sp.spmatrix, J: int, device: SimulatedDevice) -> PreparedInput:
+        plan = self.liteform.compose(A, J, force_cell=self.force_cell)
+        return PreparedInput(
+            system=self.name,
+            fmt=plan.fmt,
+            kernel=plan.kernel,
+            construction_overhead_s=plan.overhead.total_s,
+            config={
+                "use_cell": plan.use_cell,
+                "num_partitions": plan.num_partitions,
+                "max_widths": plan.max_widths,
+            },
+        )

@@ -1,0 +1,47 @@
+"""Baseline registry used by the benchmark harness."""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineSystem
+from repro.baselines.fixed import (
+    CuSparseBaseline,
+    DgSparseBaseline,
+    SputnikBaseline,
+    TritonBaseline,
+)
+from repro.baselines.sparsetir import SparseTIRBaseline
+from repro.baselines.stile import STileBaseline
+from repro.baselines.taco import TacoBaseline
+
+#: The systems of Figure 6, in the paper's legend order (LiteForm is added
+#: by the harness once its models are trained).
+FIG6_BASELINES = (
+    "cusparse",
+    "triton",
+    "sputnik",
+    "dgsparse",
+    "taco",
+    "sparsetir",
+    "stile",
+)
+
+_FACTORIES = {
+    "cusparse": CuSparseBaseline,
+    "triton": TritonBaseline,
+    "sputnik": SputnikBaseline,
+    "dgsparse": DgSparseBaseline,
+    "taco": TacoBaseline,
+    "sparsetir": SparseTIRBaseline,
+    "stile": STileBaseline,
+}
+
+
+def make_baseline(name: str, **kwargs) -> BaselineSystem:
+    """Instantiate a baseline by figure-legend name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown baseline {name!r}; choose from {sorted(_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,49 @@
+"""TACO baseline: 36-schedule sweep, best execution time (Section 7.1)."""
+
+from __future__ import annotations
+
+import time
+
+import scipy.sparse as sp
+
+from repro.baselines.base import BaselineSystem, PreparedInput
+from repro.formats.csr import CSRFormat
+from repro.gpu.device import SimulatedDevice
+from repro.kernels.taco_spmm import TacoSchedule, TacoSpMM
+
+
+class TacoBaseline(BaselineSystem):
+    """The paper runs TACO under all 36 combinations of non-zeros-per-warp
+    and warps-per-block and reports the shortest time; ``prepare`` performs
+    that sweep on the simulated device and keeps the winning schedule.
+
+    The sweep's cost (compile + run each schedule) is recorded as
+    construction overhead, though Fig. 8 only plots the composable systems.
+    """
+
+    name = "taco"
+
+    #: Simulated compile time per schedule variant (TACO codegen + nvcc).
+    compile_s = 0.8
+    #: Timing repetitions per schedule during the sweep.
+    runs_per_schedule = 10
+
+    def prepare(self, A: sp.spmatrix, J: int, device: SimulatedDevice) -> PreparedInput:
+        t0 = time.perf_counter()
+        fmt = CSRFormat.from_csr(self._canonical(A))
+        convert_s = time.perf_counter() - t0
+        best_sched, best_time = None, float("inf")
+        sweep_s = 0.0
+        for sched in TacoSchedule.space():
+            t = TacoSpMM(schedule=sched).measure(fmt, J, device).time_s
+            sweep_s += self.compile_s + self.runs_per_schedule * t
+            if t < best_time:
+                best_sched, best_time = sched, t
+        assert best_sched is not None
+        return PreparedInput(
+            system=self.name,
+            fmt=fmt,
+            kernel=TacoSpMM(schedule=best_sched),
+            construction_overhead_s=convert_s + sweep_s,
+            config={"schedule": best_sched, "schedules_tried": len(TacoSchedule.space())},
+        )

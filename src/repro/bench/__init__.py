@@ -1,0 +1,23 @@
+"""Benchmark harness utilities shared by the per-figure benchmark files."""
+
+from repro.bench.harness import (
+    BENCH_J_VALUES,
+    COLLECTION_SIZE,
+    TRAIN_SIZE,
+    scaled_device,
+)
+from repro.bench.reporting import (
+    BenchTable,
+    geomean,
+    normalized_speedups,
+)
+
+__all__ = [
+    "BenchTable",
+    "geomean",
+    "normalized_speedups",
+    "BENCH_J_VALUES",
+    "COLLECTION_SIZE",
+    "TRAIN_SIZE",
+    "scaled_device",
+]

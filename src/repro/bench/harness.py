@@ -1,0 +1,33 @@
+"""Shared configuration for the figure benchmarks."""
+
+from __future__ import annotations
+
+import os
+
+from repro.gpu import SimulatedDevice
+from repro.gpu.device import V100
+from repro.matrices import GNN_DATASETS
+
+#: Matrices in the Fig. 7/9 collection sweeps.
+COLLECTION_SIZE = int(os.environ.get("REPRO_BENCH_COLLECTION", "48"))
+#: Matrices used for model training and Tables 5-6 (paper used 514).
+TRAIN_SIZE = int(os.environ.get("REPRO_BENCH_TRAIN", "150"))
+#: Dense widths swept in the figures.  The paper sweeps {32,64,128,256,512};
+#: three representative points bound the benchmark runtime (EXPERIMENTS.md).
+BENCH_J_VALUES = (32, 128, 512)
+
+
+def scaled_device(dataset: str) -> SimulatedDevice:
+    """Device whose DRAM is scaled by the dataset's down-scale factor.
+
+    The proteins/reddit stand-ins shrink nodes by ``scale`` and edges by
+    ``scale**2`` (DESIGN.md); scaling capacity by ``scale**2`` keeps the
+    footprint-to-capacity ratio — and hence the Fig. 6 OOM behaviour —
+    faithful to the V100's 16 GB.
+    """
+    scale = GNN_DATASETS[dataset].scale
+    if scale == 1:
+        return SimulatedDevice()
+    return SimulatedDevice(
+        spec=V100.with_overrides(dram_bytes=V100.dram_bytes // (scale * scale))
+    )

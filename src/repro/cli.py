@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``compose``
+    Compose a format for a Matrix Market file (or a named synthetic
+    workload) and print the plan plus simulated SpMM performance.
+``compare``
+    Run every baseline system on the input and print a Figure 6-style row.
+``train``
+    Generate training data on a synthetic collection, fit LiteForm's
+    predictors, and save them for later ``--models`` use.
+``info``
+    Print format statistics (padding, footprint) for every format on the
+    input matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import FIG6_BASELINES, LiteFormBaseline, make_baseline
+from repro.core import LiteForm, generate_training_data
+from repro.core.persistence import load_liteform, save_liteform
+from repro.formats import (
+    BCSRFormat,
+    CELLFormat,
+    COOFormat,
+    CSRFormat,
+    ELLFormat,
+    SlicedELLFormat,
+)
+from repro.gpu import SimulatedDevice
+from repro.gpu.device import SimulatedOOMError
+from repro.matrices import (
+    GNN_DATASETS,
+    SuiteSparseLikeCollection,
+    make_gnn_standin,
+    read_matrix_market,
+)
+
+
+def _load_matrix(spec: str):
+    """``path.mtx`` or a named GNN stand-in like ``gnn:pubmed``."""
+    if spec.startswith("gnn:"):
+        name = spec.split(":", 1)[1]
+        return make_gnn_standin(name, seed=1)
+    path = Path(spec)
+    if not path.exists():
+        raise SystemExit(f"matrix file not found: {spec} (use gnn:<name> for stand-ins)")
+    return read_matrix_market(path)
+
+
+def _get_liteform(args) -> LiteForm:
+    if args.models:
+        return load_liteform(args.models)
+    print(f"training LiteForm on a {args.train_size}-matrix collection ...", file=sys.stderr)
+    coll = SuiteSparseLikeCollection(size=args.train_size, max_rows=10_000, seed=1)
+    return LiteForm().fit(generate_training_data(coll, J_values=(32, 128)))
+
+
+def cmd_compose(args) -> int:
+    A = _load_matrix(args.matrix)
+    lf = _get_liteform(args)
+    plan = lf.compose(A, args.J)
+    m = lf.measure(plan, args.J)
+    out = {
+        "matrix": {"rows": A.shape[0], "cols": A.shape[1], "nnz": int(A.nnz)},
+        "J": args.J,
+        "use_cell": plan.use_cell,
+        "num_partitions": plan.num_partitions,
+        "max_bucket_widths": plan.max_widths,
+        "format": type(plan.fmt).__name__,
+        "padding_ratio": plan.fmt.padding_ratio,
+        "construction_overhead_ms": plan.overhead.total_s * 1e3,
+        "simulated_time_ms": m.time_ms,
+        "compute_throughput": m.compute_throughput,
+    }
+    if args.json:
+        print(json.dumps(out, indent=2))
+    else:
+        for k, v in out.items():
+            print(f"{k:26s} {v}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    A = _load_matrix(args.matrix)
+    lf = _get_liteform(args)
+    device = SimulatedDevice()
+    rows = []
+    for name in FIG6_BASELINES:
+        system = make_baseline(name)
+        t0 = time.perf_counter()
+        try:
+            prep = system.prepare(A, args.J, device)
+            t = system.measure(prep, args.J, device).time_s
+            rows.append((name, t, prep.construction_overhead_s))
+        except SimulatedOOMError:
+            rows.append((name, float("inf"), float("nan")))
+        if time.perf_counter() - t0 > 300:  # pragma: no cover - safety valve
+            print(f"warning: {name} took very long", file=sys.stderr)
+    prep = LiteFormBaseline(lf).prepare(A, args.J, device)
+    rows.append(("liteform", prep.kernel.measure(prep.fmt, args.J, device).time_s,
+                 prep.construction_overhead_s))
+    ref = next(t for n, t, _ in rows if n == "cusparse")
+    print(f"{'system':10s} {'time_ms':>10s} {'vs_cusparse':>12s} {'construct_s':>12s}")
+    for name, t, oh in rows:
+        tt = f"{t*1e3:10.3f}" if np.isfinite(t) else f"{'OOM':>10s}"
+        sp = f"{ref/t:12.2f}" if np.isfinite(t) else f"{'-':>12s}"
+        print(f"{name:10s} {tt} {sp} {oh:12.4f}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    coll = SuiteSparseLikeCollection(size=args.train_size, max_rows=args.max_rows, seed=args.seed)
+    data = generate_training_data(coll)
+    lf = LiteForm().fit(data)
+    save_liteform(lf, args.output)
+    print(f"trained on {len(data.format_samples)} matrices "
+          f"({int(data.format_y.sum())} CELL-favourable); saved to {args.output}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    A = _load_matrix(args.matrix)
+    lengths = np.diff(A.indptr)
+    print(f"matrix {A.shape[0]}x{A.shape[1]} nnz={A.nnz} "
+          f"rows mean={lengths.mean():.2f} max={int(lengths.max())}")
+    print(f"{'format':18s} {'stored':>12s} {'padding':>9s} {'MiB':>9s}")
+    for name, fmt in [
+        ("COO", COOFormat.from_csr(A)),
+        ("CSR", CSRFormat.from_csr(A)),
+        ("ELL", ELLFormat.from_csr(A)),
+        ("Sliced-ELL", SlicedELLFormat.from_csr(A)),
+        ("BCSR 8x8", BCSRFormat.from_csr(A, block_shape=(8, 8))),
+        ("CELL natural", CELLFormat.from_csr(A)),
+        ("CELL 4 parts", CELLFormat.from_csr(A, num_partitions=min(4, A.shape[1]))),
+    ]:
+        print(f"{name:18s} {fmt.stored_elements:12d} {fmt.padding_ratio:8.1%} "
+              f"{fmt.footprint_bytes / 2**20:9.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_common(sp):
+        sp.add_argument("matrix", help=".mtx path or gnn:<name> stand-in")
+        sp.add_argument("-J", type=int, default=128, help="dense columns (default 128)")
+        sp.add_argument("--models", help="saved LiteForm models (from `train`)")
+        sp.add_argument("--train-size", type=int, default=16,
+                        help="collection size when training ad hoc")
+
+    sp = sub.add_parser("compose", help="compose a format with LiteForm")
+    add_common(sp)
+    sp.add_argument("--json", action="store_true", help="machine-readable output")
+    sp.set_defaults(func=cmd_compose)
+
+    sp = sub.add_parser("compare", help="run all baselines on the input")
+    add_common(sp)
+    sp.set_defaults(func=cmd_compare)
+
+    sp = sub.add_parser("train", help="train and save LiteForm's predictors")
+    sp.add_argument("output", help="output path (.pkl)")
+    sp.add_argument("--train-size", type=int, default=64)
+    sp.add_argument("--max-rows", type=int, default=20_000)
+    sp.add_argument("--seed", type=int, default=1)
+    sp.set_defaults(func=cmd_train)
+
+    sp = sub.add_parser("info", help="format statistics for a matrix")
+    sp.add_argument("matrix", help=".mtx path or gnn:<name> stand-in")
+    sp.set_defaults(func=cmd_info)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Algorithm 3: search for the optimal maximum bucket width.
+
+The cost of a partition as a function of its maximum bucket width is
+(approximately) unimodal: widening the cap reduces the number of folded
+bucket rows ``I1`` (fewer row-index reads and output writes) while
+increasing padding (more index/value reads), per the trade-off discussion
+of Section 5.3.  Algorithm 3 exploits this with a binary-search-like probe
+that compares ``cost(mid)`` against ``cost(2 * mid)`` to decide which half
+contains the optimum.
+
+Widths are powers of two, so the search runs over exponents; the paper's
+``TuneWidth(buckets, w)`` and ``GetAllCost(buckets)`` correspond to
+:meth:`PartitionCostProfile.cost`, which re-buckets implicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost_model import PartitionCostProfile
+
+
+@dataclass(frozen=True)
+class BucketSearchResult:
+    """Chosen cap for one partition plus search telemetry."""
+
+    max_exp: int
+    cost: float
+    evaluations: int
+
+    @property
+    def max_width(self) -> int:
+        return 1 << self.max_exp
+
+
+def build_buckets(
+    profile: PartitionCostProfile,
+    J: int,
+    num_partitions: int = 1,
+    legacy_eq7: bool = False,
+) -> BucketSearchResult:
+    """Algorithm 3 (``BuildBuckets``): binary search over the width cap.
+
+    Maintains ``[lo, hi]`` exponent bounds; at each step compares the cost
+    at the midpoint ``m`` with the cost one doubling up (``m + 1``): if the
+    midpoint is more expensive the optimum lies to the right, else to the
+    left (or at ``m``) — lines 5-14 of the paper's listing.
+    """
+    if J < 1:
+        raise ValueError(f"J must be >= 1, got {J}")
+
+    def cost(e: int) -> float:
+        return profile.cost(e, J, num_partitions=num_partitions, legacy_eq7=legacy_eq7)
+
+    lo, hi = 0, profile.natural_max_exp
+    evals = 0
+    while lo < hi:
+        mid = (lo + hi) // 2
+        cost_mid = cost(mid)
+        cost_next = cost(min(mid + 1, hi))
+        evals += 2
+        if cost_mid > cost_next:
+            lo = mid + 1
+        else:
+            hi = mid
+    return BucketSearchResult(max_exp=lo, cost=cost(lo), evaluations=evals + 1)
+
+
+def exhaustive_width_search(
+    profile: PartitionCostProfile,
+    J: int,
+    num_partitions: int = 1,
+    legacy_eq7: bool = False,
+) -> BucketSearchResult:
+    """Brute-force sweep of every cap — the ablation reference Algorithm 3
+    is compared against (and the oracle it should match on unimodal costs)."""
+    if J < 1:
+        raise ValueError(f"J must be >= 1, got {J}")
+    best_exp, best_cost = 0, float("inf")
+    evals = 0
+    for e in range(profile.natural_max_exp + 1):
+        c = profile.cost(e, J, num_partitions=num_partitions, legacy_eq7=legacy_eq7)
+        evals += 1
+        if c < best_cost:
+            best_exp, best_cost = e, c
+    return BucketSearchResult(max_exp=best_exp, cost=best_cost, evaluations=evals)

@@ -1,0 +1,249 @@
+"""The SpMM cost model of Section 5.3 (Eqs. 5-7).
+
+For a bucket ``x`` with width ``W``, ``I1`` bucket rows (folded rows counted
+per chunk), ``U = |set(Ind[i, w])|`` distinct column indices, and dense
+width ``J``::
+
+    cost(x) = 2 * I1 * W  +  U * J  +  I1 * J          (Eq. 7)
+
+The three terms charge (1) reading the bucket's column indices and values,
+(2) fetching the referenced rows of ``B``, and (3) writing the output with
+the atomic weight ``Atomic = I1 / I2`` folded in.
+
+Evaluating the cost of a *candidate maximum bucket width* must be cheap —
+Algorithm 3 probes O(log W) candidates — so :class:`PartitionCostProfile`
+precomputes, per partition, everything needed to answer ``cost(max_exp)``
+in O(#long rows):
+
+* rows below the cap sit in their natural buckets regardless of the cap
+  (a consequence of the folding rule, see :mod:`repro.formats.cell`), so
+  their per-bucket ``I1``/``U`` are computed once;
+* the cap's bucket always holds *all* rows with natural exponent >= cap,
+  whose union column count is a suffix statistic, precomputed for every
+  possible cap in one O(nnz log nnz) pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formats.base import ceil_pow2_exponent
+from repro.formats.cell import partition_bounds
+
+
+#: Calibrated atomic weight: the device's read-modify-write amplification
+#: (Eq. 6 defines ``Atomic`` as the average memory accesses an atomic
+#: update costs relative to a plain store; we take the simulated GPU's
+#: measured factor instead of the paper's I1/I2 simplification).
+DEFAULT_ATOMIC_WEIGHT = 1.8
+
+
+def bucket_cost(
+    I1: int,
+    W: int,
+    unique_cols: int,
+    J: int,
+    atomic: bool = False,
+    atomic_weight: float = DEFAULT_ATOMIC_WEIGHT,
+    zero_rows: int = 0,
+) -> float:
+    """Eq. 6/7 for one bucket.
+
+    ``atomic`` marks buckets whose output goes through ``atomicAdd``
+    (folded rows, or any bucket when the matrix has multiple partitions);
+    those pay ``atomic_weight`` per output word plus the zero-initialization
+    of their ``zero_rows`` distinct output rows.  With ``atomic=False`` and
+    the defaults this reduces exactly to Eq. 7.
+    """
+    if I1 < 0 or W < 1 or unique_cols < 0 or J < 1:
+        raise ValueError(
+            f"invalid bucket cost arguments I1={I1}, W={W}, U={unique_cols}, J={J}"
+        )
+    out_weight = atomic_weight if atomic else 1.0
+    zero_cost = float(zero_rows) * J if atomic else 0.0
+    return 2.0 * I1 * W + float(unique_cols) * J + out_weight * float(I1) * J + zero_cost
+
+
+@dataclass(frozen=True)
+class _NaturalBucket:
+    exponent: int
+    num_rows: int
+    unique_cols: int
+
+
+class PartitionCostProfile:
+    """Per-partition precomputation for O(1)-ish candidate-cost queries."""
+
+    def __init__(self, lengths: np.ndarray, indptr: np.ndarray, indices: np.ndarray):
+        lengths = np.asarray(lengths, dtype=np.int64)
+        rows = np.nonzero(lengths > 0)[0]
+        self.num_nonempty_rows = int(rows.size)
+        if rows.size == 0:
+            self.natural_max_exp = 0
+            self._naturals: dict[int, _NaturalBucket] = {}
+            self._suffix_unique = np.zeros(1, dtype=np.int64)
+            self._suffix_rows = np.zeros(1, dtype=np.int64)
+            self._lengths_desc = np.zeros(0, dtype=np.int64)
+            self._exp_boundaries = np.zeros(2, dtype=np.int64)
+            return
+        l = lengths[rows]
+        exps = ceil_pow2_exponent(l)
+        self.natural_max_exp = int(exps.max())
+        E = self.natural_max_exp
+
+        # --- natural buckets (exact per-exponent unique column counts) ---
+        order = np.argsort(exps, kind="stable")
+        rows_s, exps_s, l_s = rows[order], exps[order], l[order]
+        bounds = np.searchsorted(exps_s, np.arange(E + 2))
+        span = np.int64(indices.max()) + 1 if indices.size else np.int64(1)
+        # Gather each row's column indices tagged with its exponent group.
+        starts = indptr[rows_s].astype(np.int64)
+        within = np.arange(int(l_s.sum())) - np.repeat(np.cumsum(l_s) - l_s, l_s)
+        flat_cols = indices[np.repeat(starts, l_s) + within].astype(np.int64)
+        flat_exp = np.repeat(exps_s, l_s)
+        uniq_keys = np.unique(flat_exp * span + flat_cols)
+        per_exp_unique = np.bincount(
+            (uniq_keys // span).astype(np.int64), minlength=E + 1
+        )
+        self._naturals = {
+            e: _NaturalBucket(
+                exponent=e,
+                num_rows=int(bounds[e + 1] - bounds[e]),
+                unique_cols=int(per_exp_unique[e]),
+            )
+            for e in range(E + 1)
+            if bounds[e + 1] > bounds[e]
+        }
+
+        # --- suffix statistics for the cap bucket -----------------------
+        # Order rows by exponent DESC so "rows with exponent >= m" is a prefix.
+        desc = order[::-1]
+        rows_d, l_d = rows[desc], l[desc]
+        starts_d = indptr[rows_d].astype(np.int64)
+        within_d = np.arange(int(l_d.sum())) - np.repeat(np.cumsum(l_d) - l_d, l_d)
+        cols_d = indices[np.repeat(starts_d, l_d) + within_d].astype(np.int64)
+        _, first_pos = np.unique(cols_d, return_index=True)
+        first_pos = np.sort(first_pos)
+        # element boundary of the prefix "exponent >= m" for m = 0..E+1
+        exps_d = exps[desc]
+        # rows with exponent >= m form a prefix of the descending order:
+        # count = positions where -exp <= -m (side="right" on ascending -exp).
+        row_boundary = np.searchsorted(-exps_d, -np.arange(E + 2), side="right")
+        elem_boundary = np.concatenate([[0], np.cumsum(l_d)])[row_boundary]
+        self._suffix_unique = np.searchsorted(first_pos, elem_boundary)
+        self._suffix_rows = row_boundary
+        self._lengths_desc = l_d
+        self._exp_boundaries = elem_boundary
+
+    def cap_bucket_rows(self, max_exp: int) -> int:
+        """I1 of the cap bucket: folded chunks of all rows with exp >= cap."""
+        if max_exp < 0:
+            raise ValueError(f"max_exp must be >= 0, got {max_exp}")
+        m = min(max_exp, self.natural_max_exp)
+        n_rows = int(self._suffix_rows[m])
+        if n_rows == 0:
+            return 0
+        W = 1 << m
+        prefix = self._lengths_desc[:n_rows]
+        return int(np.sum(-(-prefix // W)))
+
+    def cap_bucket_unique(self, max_exp: int) -> int:
+        """U of the cap bucket: union of columns of rows with exp >= cap."""
+        m = min(max_exp, self.natural_max_exp)
+        return int(self._suffix_unique[m])
+
+    def cap_bucket_output_rows(self, max_exp: int) -> int:
+        """I2 of the cap bucket: distinct output rows it writes."""
+        m = min(max_exp, self.natural_max_exp)
+        return int(self._suffix_rows[m])
+
+    def cost(
+        self,
+        max_exp: int,
+        J: int,
+        num_partitions: int = 1,
+        atomic_weight: float = DEFAULT_ATOMIC_WEIGHT,
+        legacy_eq7: bool = False,
+    ) -> float:
+        """Total cost of this partition under the given width cap.
+
+        By default uses the atomic-aware Eq. 6 form (the cap bucket's
+        folded rows, and every bucket when ``num_partitions > 1``, pay the
+        calibrated atomic weight plus zero-initialization).  Pass
+        ``legacy_eq7=True`` for the paper's simplified Eq. 7 — kept for the
+        cost-model ablation benchmark.
+        """
+        if max_exp < 0:
+            raise ValueError(f"max_exp must be >= 0, got {max_exp}")
+        if self.num_nonempty_rows == 0:
+            return 0.0
+        max_exp = min(max_exp, self.natural_max_exp)
+        multi = num_partitions > 1 and not legacy_eq7
+        total = 0.0
+        for e, nb in self._naturals.items():
+            if e >= max_exp:
+                continue  # absorbed by the cap bucket
+            total += bucket_cost(
+                nb.num_rows,
+                1 << e,
+                nb.unique_cols,
+                J,
+                atomic=multi,
+                atomic_weight=atomic_weight,
+                zero_rows=nb.num_rows if multi else 0,
+            )
+        I1 = self.cap_bucket_rows(max_exp)
+        if I1:
+            folded = max_exp < self.natural_max_exp
+            atomic = (folded or multi) and not legacy_eq7
+            total += bucket_cost(
+                I1,
+                1 << min(max_exp, self.natural_max_exp),
+                self.cap_bucket_unique(max_exp),
+                J,
+                atomic=atomic,
+                atomic_weight=atomic_weight,
+                zero_rows=self.cap_bucket_output_rows(max_exp) if atomic else 0,
+            )
+        return total
+
+    def bucket_summary(self, max_exp: int) -> list[tuple[int, int, int]]:
+        """(width, I1, unique) per bucket under the given cap — for tests."""
+        if self.num_nonempty_rows == 0:
+            return []
+        max_exp = min(max_exp, self.natural_max_exp)
+        out = []
+        for e, nb in sorted(self._naturals.items()):
+            if e < max_exp:
+                out.append((1 << e, nb.num_rows, nb.unique_cols))
+        I1 = self.cap_bucket_rows(max_exp)
+        if I1:
+            out.append((1 << max_exp, I1, self.cap_bucket_unique(max_exp)))
+        return out
+
+
+def matrix_cost_profiles(
+    A: sp.csr_matrix, num_partitions: int
+) -> list[PartitionCostProfile]:
+    """Build one cost profile per column partition of ``A``."""
+    I, K = A.shape
+    bounds = partition_bounds(K, num_partitions)
+    profiles = []
+    csc = A.tocsc() if num_partitions > 1 else None
+    for c0, c1 in bounds:
+        sub = csc[:, c0:c1].tocsr() if csc is not None else A
+        lengths = np.diff(sub.indptr).astype(np.int64)
+        profiles.append(
+            PartitionCostProfile(lengths, sub.indptr.astype(np.int64), sub.indices)
+        )
+    return profiles
+
+
+def total_cost(profiles: list[PartitionCostProfile], max_exps: list[int], J: int) -> float:
+    """Eq. 7 summed over all partitions with per-partition caps."""
+    if len(profiles) != len(max_exps):
+        raise ValueError("profiles and max_exps must align")
+    return float(sum(p.cost(m, J) for p, m in zip(profiles, max_exps)))

@@ -1,0 +1,185 @@
+"""The LiteForm end-to-end pipeline (Figure 2).
+
+``compose`` runs the three stages — CELL-benefit prediction, partition
+prediction, bucket-width search — and returns a :class:`ComposePlan`
+holding the chosen format, the kernel that executes it, and the measured
+construction overhead (the quantity of Figures 8-9).  ``run`` executes the
+plan on the simulated device.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.bucket_search import build_buckets
+from repro.core.cost_model import matrix_cost_profiles
+from repro.core.partition_model import PartitionPredictor
+from repro.core.selector import FormatSelector
+from repro.core.training import TrainingData
+from repro.formats.base import SparseFormat, as_csr
+from repro.formats.bcsr import BCSRFormat
+from repro.formats.cell import CELLFormat
+from repro.formats.csr import CSRFormat
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.stats import Measurement
+from repro.kernels.base import SpMMKernel
+from repro.kernels.bcsr_spmm import BCSRSpMM
+from repro.kernels.cell_spmm import CELLSpMM
+from repro.kernels.csr_spmm import RowSplitCSRSpMM
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Wall-clock construction overhead, split by pipeline stage."""
+
+    selection_s: float
+    partition_s: float
+    search_s: float
+    build_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.selection_s + self.partition_s + self.search_s + self.build_s
+
+
+@dataclass
+class ComposePlan:
+    """Outcome of ``LiteForm.compose`` for one (matrix, J) pair."""
+
+    use_cell: bool
+    fmt: SparseFormat
+    kernel: SpMMKernel
+    num_partitions: int
+    max_widths: list[int] = field(default_factory=list)
+    overhead: OverheadBreakdown = OverheadBreakdown(0.0, 0.0, 0.0, 0.0)
+    predicted_cost: float | None = None
+
+
+def _blockwise_occupancy(A: sp.csr_matrix, block: int = 8) -> float:
+    """Mean fill of the non-empty (block x block) tiles — the cheap signal
+    used to pick between the fixed formats when CELL is rejected."""
+    if A.nnz == 0:
+        return 0.0
+    rows = np.repeat(
+        np.arange(A.shape[0], dtype=np.int64), np.diff(A.indptr).astype(np.int64)
+    )
+    nbc = -(-A.shape[1] // block)
+    keys = (rows // block) * np.int64(nbc) + A.indices.astype(np.int64) // block
+    n_tiles = np.unique(keys).size
+    return A.nnz / (n_tiles * block * block)
+
+
+class LiteForm:
+    """Lightweight automatic format composition for SpMM.
+
+    Typical use::
+
+        lf = LiteForm()
+        lf.fit(training_data)              # offline, amortized
+        plan = lf.compose(A, J=128)        # milliseconds (Figs. 8-9)
+        C, measurement = lf.run(plan, B)   # simulated execution
+    """
+
+    def __init__(
+        self,
+        selector: FormatSelector | None = None,
+        partition_model: PartitionPredictor | None = None,
+        device: SimulatedDevice | None = None,
+        block_multiple: int = 2,
+        bcsr_occupancy_threshold: float = 0.5,
+    ):
+        self.selector = selector or FormatSelector()
+        self.partition_model = partition_model or PartitionPredictor()
+        self.device = device or SimulatedDevice()
+        self.block_multiple = block_multiple
+        self.bcsr_occupancy_threshold = bcsr_occupancy_threshold
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, training: TrainingData) -> "LiteForm":
+        """Train both predictors from simulated execution history."""
+        if not training.format_samples or not training.partition_samples:
+            raise ValueError("training data must contain samples for both models")
+        self.selector.fit(training.format_X, training.format_y)
+        self.partition_model.fit(training.partition_X, training.partition_y)
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def compose(self, A: sp.spmatrix, J: int, force_cell: bool | None = None) -> ComposePlan:
+        """Figure 2: select, partition, search, and build.
+
+        ``force_cell`` overrides stage 1 (used by ablations and by Fig. 7,
+        which compares composed CELL directly against tuned SparseTIR).
+        """
+        if not self._fitted and force_cell is None:
+            raise RuntimeError("LiteForm.fit must run before compose")
+        if J < 1:
+            raise ValueError(f"J must be >= 1, got {J}")
+        A = as_csr(A)
+
+        t0 = time.perf_counter()
+        use_cell = force_cell if force_cell is not None else self.selector.predict(A)
+        t1 = time.perf_counter()
+
+        if not use_cell:
+            if _blockwise_occupancy(A) >= self.bcsr_occupancy_threshold:
+                fmt: SparseFormat = BCSRFormat.from_csr(A, block_shape=(8, 8))
+                kernel: SpMMKernel = BCSRSpMM()
+            else:
+                fmt = CSRFormat.from_csr(A)
+                kernel = RowSplitCSRSpMM()
+            t2 = time.perf_counter()
+            return ComposePlan(
+                use_cell=False,
+                fmt=fmt,
+                kernel=kernel,
+                num_partitions=1,
+                overhead=OverheadBreakdown(t1 - t0, 0.0, 0.0, t2 - t1),
+            )
+
+        num_partitions = (
+            self.partition_model.predict(A, J) if self._fitted else 1
+        )
+        t2 = time.perf_counter()
+
+        profiles = matrix_cost_profiles(A, num_partitions)
+        results = [
+            build_buckets(p, J, num_partitions=num_partitions)
+            if p.num_nonempty_rows
+            else None
+            for p in profiles
+        ]
+        widths = [1 << r.max_exp if r else 1 for r in results]
+        predicted = sum(r.cost for r in results if r)
+        t3 = time.perf_counter()
+
+        fmt = CELLFormat.from_csr(
+            A,
+            num_partitions=num_partitions,
+            max_widths=widths,
+            block_multiple=self.block_multiple,
+        )
+        t4 = time.perf_counter()
+        return ComposePlan(
+            use_cell=True,
+            fmt=fmt,
+            kernel=CELLSpMM(),
+            num_partitions=num_partitions,
+            max_widths=widths,
+            overhead=OverheadBreakdown(t1 - t0, t2 - t1, t3 - t2, t4 - t3),
+            predicted_cost=predicted,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, plan: ComposePlan, B: np.ndarray) -> tuple[np.ndarray, Measurement]:
+        """Execute a composed plan numerically + on the simulated device."""
+        return plan.kernel.run(plan.fmt, B, self.device)
+
+    def measure(self, plan: ComposePlan, J: int) -> Measurement:
+        """Timing-only evaluation of a composed plan."""
+        return plan.kernel.measure(plan.fmt, J, self.device)

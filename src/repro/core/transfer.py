@@ -1,0 +1,48 @@
+"""Transfer learning across devices/kernels — Section 8's mitigation.
+
+The paper notes LiteForm "requires model retraining for new architectures
+or kernels" and suggests transfer learning to avoid retraining from
+scratch.  This module implements the standard instance-weighting form:
+keep the (large, cheap-to-reuse) source-device training set, add the
+(small, expensive) target-device set replicated ``target_weight`` times,
+and refit — so a handful of target measurements correct the source model's
+device-specific biases while its pattern knowledge is retained.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import LiteForm
+from repro.core.training import TrainingData
+
+
+def transfer_training_data(
+    source: TrainingData, target: TrainingData, target_weight: int = 4
+) -> TrainingData:
+    """Combine source-device history with up-weighted target samples."""
+    if target_weight < 1:
+        raise ValueError(f"target_weight must be >= 1, got {target_weight}")
+    combined = TrainingData(
+        format_samples=list(source.format_samples),
+        partition_samples=list(source.partition_samples),
+    )
+    for _ in range(target_weight):
+        combined.format_samples.extend(target.format_samples)
+        combined.partition_samples.extend(target.partition_samples)
+    return combined
+
+
+def transfer_fit(
+    liteform: LiteForm,
+    source: TrainingData,
+    target: TrainingData,
+    target_weight: int = 4,
+) -> LiteForm:
+    """Fit ``liteform`` for a new device from mostly-source data.
+
+    ``target`` is typically generated from a few matrices measured on the
+    new device — orders of magnitude cheaper than regenerating the full
+    source collection's history.
+    """
+    if not target.format_samples:
+        raise ValueError("target data must contain at least one sample")
+    return liteform.fit(transfer_training_data(source, target, target_weight))

@@ -1,0 +1,40 @@
+"""Sparse matrix storage formats.
+
+Implements the element-wise and blockwise formats discussed in Section 2.1
+of the paper (COO, CSR, ELL, Sliced-ELL, BCSR, Blocked-ELL) and the paper's
+contribution, the three-level Composable Ellpack (CELL) format of Section 4.
+
+All formats are constructed from a ``scipy.sparse`` matrix, expose their
+device memory footprint and padding ratio, and can round-trip back to CSR
+for verification.
+"""
+
+from repro.formats.base import (
+    SparseFormat,
+    ceil_pow2,
+    ceil_pow2_exponent,
+    padding_ratio,
+)
+from repro.formats.bcsr import BCSRFormat
+from repro.formats.blocked_ell import BlockedELLFormat
+from repro.formats.cell import Bucket, CELLFormat, Partition
+from repro.formats.coo import COOFormat
+from repro.formats.csr import CSRFormat
+from repro.formats.ell import ELLFormat
+from repro.formats.sliced_ell import SlicedELLFormat
+
+__all__ = [
+    "SparseFormat",
+    "ceil_pow2",
+    "ceil_pow2_exponent",
+    "padding_ratio",
+    "COOFormat",
+    "CSRFormat",
+    "ELLFormat",
+    "SlicedELLFormat",
+    "BCSRFormat",
+    "BlockedELLFormat",
+    "CELLFormat",
+    "Partition",
+    "Bucket",
+]

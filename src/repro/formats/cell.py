@@ -1,0 +1,367 @@
+"""Composable Ellpack (CELL): the paper's three-level blockwise format.
+
+Level 1 — **partitions**: columns are divided into ``P`` equal partitions.
+Level 2 — **buckets**: within a partition, rows are grouped by length;
+bucket *i* has width ``2**i`` and holds rows with ``2**(i-1) < l <= 2**i``.
+A per-partition *maximum bucket width* may cap the widest bucket; rows
+longer than the cap are **folded** into multiple bucket rows that share the
+same entry in the row-index array (Section 5.3, Figure 5).
+Level 3 — **blocks**: every bucket groups rows so each block holds
+``block_nnz = block_multiple * max_bucket_width`` stored elements — the GPU
+thread-block work unit of Algorithm 2.
+
+Folding rule: a row of length ``l > W`` (the partition's max width) becomes
+``ceil(l / W)`` rows in the max-width bucket (the last chunk is padded).
+Keeping all folded chunks in the max bucket — rather than scattering
+remainders into smaller buckets — makes the bucket population below the max
+width independent of the chosen cap, which is what lets both this builder
+and the cost model of :mod:`repro.core.cost_model` evaluate candidate widths
+incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formats.base import (
+    INDEX_DTYPE,
+    VALUE_DTYPE,
+    SparseFormat,
+    ceil_pow2_exponent,
+)
+from repro.formats.ell import PAD
+
+
+@dataclass
+class Bucket:
+    """One Ellpack sub-matrix: rows of similar length, padded to ``width``.
+
+    ``row_ind`` holds the *original* matrix row of each bucket row; folded
+    rows appear multiple times (Figure 4).  ``col`` stores global column
+    indices with ``PAD`` (-1) marking zero padding.
+    """
+
+    width: int
+    row_ind: np.ndarray  # (R,) int32
+    col: np.ndarray  # (R, width) int32
+    val: np.ndarray  # (R, width) float32
+    has_folds: bool
+    block_rows: int  # rows per block (level 3)
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or (self.width & (self.width - 1)):
+            raise ValueError(f"bucket width must be a power of two, got {self.width}")
+        if self.col.shape != (self.row_ind.size, self.width):
+            raise ValueError("col array shape must be (num_rows, width)")
+        if self.val.shape != self.col.shape:
+            raise ValueError("val array shape must match col")
+        if self.block_rows < 1:
+            raise ValueError("block_rows must be >= 1")
+
+    @property
+    def num_rows(self) -> int:
+        """I^(1): bucket rows, folded rows counted once per chunk."""
+        return int(self.row_ind.size)
+
+    @cached_property
+    def num_output_rows(self) -> int:
+        """I^(2): distinct output rows of C this bucket contributes to."""
+        return int(np.unique(self.row_ind).size)
+
+    @cached_property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.col != PAD))
+
+    @property
+    def stored_elements(self) -> int:
+        return int(self.col.size)
+
+    @cached_property
+    def unique_cols(self) -> int:
+        """|set(Ind[i, w])|: distinct B rows this bucket reads (Eq. 5-7)."""
+        real = self.col[self.col != PAD]
+        return int(np.unique(real).size)
+
+    def wave_traffic(self, rows_per_wave: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-wave (unique, total) B-row references for this bucket.
+
+        A wave groups ``rows_per_wave`` consecutive bucket rows — the rows
+        whose blocks are co-resident on the device.
+        """
+        rows_per_wave = max(1, int(rows_per_wave))
+        mask = self.col != PAD
+        if not mask.any():
+            z = np.zeros(0, dtype=np.int64)
+            return z, z
+        rows, _ = np.nonzero(mask)
+        wave_of = rows.astype(np.int64) // rows_per_wave
+        n_waves = -(-self.num_rows // rows_per_wave)
+        refs = np.bincount(wave_of, minlength=n_waves).astype(np.int64)
+        span = np.int64(self.col.max()) + 1
+        keys = wave_of * span + self.col[mask].astype(np.int64)
+        uniq = np.unique(keys)
+        unique = np.bincount((uniq // span).astype(np.int64), minlength=n_waves)
+        return unique.astype(np.int64), refs
+
+    @property
+    def num_blocks(self) -> int:
+        if self.num_rows == 0:
+            return 0
+        return -(-self.num_rows // self.block_rows)
+
+    @property
+    def block_nnz(self) -> int:
+        """Stored elements (incl. padding) processed per full block: 2^k."""
+        return self.block_rows * self.width
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.row_ind.nbytes + self.col.nbytes + self.val.nbytes
+
+
+@dataclass
+class Partition:
+    """One column partition: a list of buckets ordered by increasing width."""
+
+    index: int
+    col_start: int
+    col_end: int
+    buckets: list[Bucket] = field(default_factory=list)
+
+    @property
+    def num_cols(self) -> int:
+        return self.col_end - self.col_start
+
+    @property
+    def max_width(self) -> int:
+        return max((b.width for b in self.buckets), default=0)
+
+    @property
+    def nnz(self) -> int:
+        return sum(b.nnz for b in self.buckets)
+
+
+def partition_bounds(num_cols: int, num_partitions: int) -> list[tuple[int, int]]:
+    """Evenly split ``num_cols`` columns into ``num_partitions`` ranges."""
+    if num_partitions < 1:
+        raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+    if num_partitions > max(num_cols, 1):
+        raise ValueError(
+            f"num_partitions ({num_partitions}) exceeds matrix columns ({num_cols})"
+        )
+    edges = np.linspace(0, num_cols, num_partitions + 1).astype(np.int64)
+    return [(int(edges[p]), int(edges[p + 1])) for p in range(num_partitions)]
+
+
+def _fold_chunks(
+    lengths: np.ndarray, max_width: int | None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split row lengths into bucket chunks under the folding rule.
+
+    Returns per-chunk arrays ``(row, offset, length, exponent, folded)``
+    where ``offset`` is the chunk's element offset inside its source row and
+    ``exponent`` gives the destination bucket width ``2**exponent``.
+    """
+    rows = np.nonzero(lengths > 0)[0]
+    l = lengths[rows].astype(np.int64)
+    if rows.size == 0:
+        z = np.zeros(0, dtype=np.int64)
+        return z, z, z, z, z.astype(bool)
+    natural_exp = ceil_pow2_exponent(l)
+    if max_width is None:
+        max_exp = int(natural_exp.max())
+        max_width = 1 << max_exp
+    else:
+        if max_width < 1 or (max_width & (max_width - 1)):
+            raise ValueError(f"max_width must be a power of two, got {max_width}")
+        max_exp = int(np.log2(max_width))
+    W = max_width
+    n_chunks = np.where(l <= W, 1, -(-l // W))
+    total = int(n_chunks.sum())
+    chunk_row = np.repeat(rows, n_chunks)
+    first = np.cumsum(n_chunks) - n_chunks
+    pos = np.arange(total) - np.repeat(first, n_chunks)
+    l_rep = np.repeat(l, n_chunks)
+    # Chunks of a folded row all go to the max bucket; the last chunk holds
+    # the remainder and is padded to W.
+    chunk_len = np.minimum(l_rep - pos * W, W)
+    chunk_off = pos * W
+    exp_rep = np.repeat(np.minimum(natural_exp, max_exp), n_chunks)
+    folded = np.repeat(n_chunks > 1, n_chunks)
+    return chunk_row, chunk_off, chunk_len, exp_rep, folded
+
+
+class CELLFormat(SparseFormat):
+    """The Composable Ellpack format (Section 4).
+
+    Parameters of ``from_csr``:
+
+    num_partitions:
+        Number of equal column partitions (level 1).
+    max_widths:
+        Per-partition cap on the maximum bucket width — ``None`` for the
+        natural maximum, an ``int`` applied to every partition, or a
+        sequence with one entry (or ``None``) per partition.  Unlike
+        SparseTIR's ``hyb`` format, each partition may use a different set
+        of bucket widths (the flexibility Section 4 highlights).
+    block_multiple:
+        ``2**k = block_multiple * max_bucket_width`` stored elements per
+        block (level 3); must be a power of two.
+    """
+
+    def __init__(self, shape: tuple[int, int], partitions: list[Partition], nnz: int):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.partitions = partitions
+        self.nnz = int(nnz)
+
+    @classmethod
+    def from_csr(
+        cls,
+        A: sp.csr_matrix,
+        num_partitions: int = 1,
+        max_widths: int | list[int | None] | None = None,
+        block_multiple: int = 2,
+        **kwargs,
+    ) -> "CELLFormat":
+        if block_multiple < 1 or (block_multiple & (block_multiple - 1)):
+            raise ValueError(f"block_multiple must be a power of two, got {block_multiple}")
+        I, K = A.shape
+        bounds = partition_bounds(K, num_partitions)
+        if max_widths is None or isinstance(max_widths, (int, np.integer)):
+            width_caps: list[int | None] = [max_widths] * num_partitions  # type: ignore[list-item]
+        else:
+            width_caps = list(max_widths)
+            if len(width_caps) != num_partitions:
+                raise ValueError(
+                    f"max_widths has {len(width_caps)} entries for "
+                    f"{num_partitions} partitions"
+                )
+        csc = A.tocsc() if num_partitions > 1 else None
+        partitions: list[Partition] = []
+        for p, (c0, c1) in enumerate(bounds):
+            if csc is not None:
+                sub = csc[:, c0:c1].tocsr()
+            else:
+                sub = A
+            buckets = cls._build_partition_buckets(
+                sub, col_offset=c0, max_width=width_caps[p], block_multiple=block_multiple
+            )
+            partitions.append(
+                Partition(index=p, col_start=c0, col_end=c1, buckets=buckets)
+            )
+        return cls((I, K), partitions, int(A.nnz))
+
+    @staticmethod
+    def _build_partition_buckets(
+        sub: sp.csr_matrix, col_offset: int, max_width: int | None, block_multiple: int
+    ) -> list[Bucket]:
+        lengths = np.diff(sub.indptr).astype(np.int64)
+        chunk_row, chunk_off, chunk_len, chunk_exp, chunk_folded = _fold_chunks(
+            lengths, max_width
+        )
+        if chunk_row.size == 0:
+            return []
+        max_exp = int(chunk_exp.max())
+        partition_max_width = 1 << max_exp
+        block_nnz = block_multiple * partition_max_width
+        order = np.argsort(chunk_exp, kind="stable")
+        chunk_row = chunk_row[order]
+        chunk_off = chunk_off[order]
+        chunk_len = chunk_len[order]
+        chunk_exp = chunk_exp[order]
+        chunk_folded = chunk_folded[order]
+        buckets: list[Bucket] = []
+        boundaries = np.searchsorted(chunk_exp, np.arange(max_exp + 2))
+        indptr = sub.indptr.astype(np.int64)
+        for e in range(max_exp + 1):
+            lo, hi = boundaries[e], boundaries[e + 1]
+            if lo == hi:
+                continue
+            width = 1 << e
+            rows = chunk_row[lo:hi]
+            offs = chunk_off[lo:hi]
+            lens = chunk_len[lo:hi]
+            R = rows.size
+            col = np.full((R, width), PAD, dtype=INDEX_DTYPE)
+            val = np.zeros((R, width), dtype=VALUE_DTYPE)
+            total = int(lens.sum())
+            if total:
+                starts = indptr[rows] + offs
+                within = np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens)
+                src = np.repeat(starts, lens) + within
+                dst = np.repeat(np.arange(R, dtype=np.int64), lens) * width + within
+                col.ravel()[dst] = sub.indices[src] + col_offset
+                val.ravel()[dst] = sub.data[src]
+            buckets.append(
+                Bucket(
+                    width=width,
+                    row_ind=rows.astype(INDEX_DTYPE),
+                    col=col,
+                    val=val,
+                    has_folds=bool(chunk_folded[lo:hi].any()),
+                    block_rows=max(1, block_nnz // width),
+                )
+            )
+        return buckets
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def iter_buckets(self):
+        """Yield ``(partition, bucket)`` pairs across the whole format."""
+        for part in self.partitions:
+            for bucket in part.buckets:
+                yield part, bucket
+
+    def needs_atomic(self, bucket: Bucket) -> bool:
+        """Whether Algorithm 2 must use atomicAdd for this bucket.
+
+        Atomics are required when several partitions may write the same
+        output row, or when the bucket contains folded rows handled by
+        different threads (Section 5.3).
+        """
+        return self.num_partitions > 1 or bucket.has_folds
+
+    @property
+    def max_widths(self) -> list[int]:
+        """The per-partition maximum bucket widths actually used."""
+        return [p.max_width for p in self.partitions]
+
+    # ------------------------------------------------------------------
+    # SparseFormat interface
+    # ------------------------------------------------------------------
+    def to_csr(self) -> sp.csr_matrix:
+        rows, cols, vals = [], [], []
+        for _, bucket in self.iter_buckets():
+            mask = bucket.col != PAD
+            if not mask.any():
+                continue
+            r = np.broadcast_to(
+                bucket.row_ind[:, None], bucket.col.shape
+            )[mask]
+            rows.append(r)
+            cols.append(bucket.col[mask])
+            vals.append(bucket.val[mask])
+        if not rows:
+            return sp.csr_matrix(self.shape, dtype=VALUE_DTYPE)
+        return sp.csr_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=self.shape,
+            dtype=VALUE_DTYPE,
+        )
+
+    @property
+    def footprint_bytes(self) -> int:
+        return int(sum(b.footprint_bytes for _, b in self.iter_buckets()))
+
+    @property
+    def stored_elements(self) -> int:
+        return int(sum(b.stored_elements for _, b in self.iter_buckets()))

@@ -1,0 +1,147 @@
+"""GPU device specifications and the simulated-device facade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.gpu.stats import KernelStats, Measurement
+from repro.gpu.timing import TimingModel
+
+#: Bytes per 32-bit word (indices and float32 values).
+WORD_BYTES = 4
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a GPU used by the timing model.
+
+    Defaults approximate an NVIDIA V100-SXM2-16GB, the part used by the
+    paper's evaluation (Section 7).  All rates are peak rates; the timing
+    model applies efficiency factors supplied by each kernel's statistics.
+    """
+
+    name: str = "V100-SXM2-16GB"
+    #: Number of streaming multiprocessors.
+    num_sms: int = 80
+    #: Core clock in GHz.
+    clock_ghz: float = 1.53
+    #: Peak global-memory bandwidth in GB/s (HBM2).
+    mem_bandwidth_gbs: float = 900.0
+    #: Memory bandwidth a single SM can sustain in GB/s (latency-limited);
+    #: charged to straggler thread blocks running after the device drains.
+    sm_bandwidth_gbs: float = 25.0
+    #: Peak single-precision throughput in GFLOP/s.
+    fp32_gflops: float = 15_700.0
+    #: L2 cache capacity in bytes.
+    l2_bytes: int = 6 * 1024 * 1024
+    #: Device memory capacity in bytes; exceeding it raises a simulated OOM.
+    dram_bytes: int = 16 * 1024**3
+    #: SIMT warp width.
+    warp_size: int = 32
+    #: Resident thread blocks per SM (occupancy-limited slots).
+    blocks_per_sm: int = 8
+    #: Fixed cost of one kernel launch in microseconds (includes the host
+    #: library call overhead around the launch itself).
+    kernel_launch_us: float = 6.0
+    #: Memory-transaction sector size in bytes (uncoalesced accesses pull a
+    #: full sector per element).
+    sector_bytes: int = 32
+    #: Extra traffic multiplier charged per atomically-written byte, modeling
+    #: the read-modify-write transaction (Volta-class float atomics to
+    #: distinct addresses resolve in L2 without lane serialization).
+    atomic_penalty: float = 1.8
+
+    @property
+    def block_slots(self) -> int:
+        """Total concurrently resident thread-block slots on the device."""
+        return self.num_sms * self.blocks_per_sm
+
+    def with_overrides(self, **kwargs: object) -> "GPUSpec":
+        """Return a copy of this spec with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The default device of the paper's evaluation.
+V100 = GPUSpec()
+
+#: A newer-generation part for the cross-device transfer-learning study
+#: (Section 8 notes LiteForm "requires model retraining for new
+#: architectures"; ``repro.core.transfer`` implements the suggested fix).
+A100 = GPUSpec(
+    name="A100-SXM4-40GB",
+    num_sms=108,
+    clock_ghz=1.41,
+    mem_bandwidth_gbs=1555.0,
+    sm_bandwidth_gbs=40.0,
+    fp32_gflops=19_500.0,
+    l2_bytes=40 * 1024 * 1024,
+    dram_bytes=40 * 1024**3,
+    blocks_per_sm=8,
+    kernel_launch_us=5.0,
+    atomic_penalty=1.5,
+)
+
+
+class SimulatedOOMError(MemoryError):
+    """Raised when a kernel's working set exceeds the device memory.
+
+    Mirrors the ``OOM`` annotations of Figure 6 (Triton's BSR representation
+    of the large graphs does not fit in 16 GB).
+    """
+
+    def __init__(self, required_bytes: int, capacity_bytes: int):
+        self.required_bytes = int(required_bytes)
+        self.capacity_bytes = int(capacity_bytes)
+        super().__init__(
+            f"simulated device OOM: kernel requires {required_bytes / 2**30:.2f} GiB, "
+            f"device has {capacity_bytes / 2**30:.2f} GiB"
+        )
+
+
+@dataclass
+class SimulatedDevice:
+    """Facade combining a :class:`GPUSpec` with a :class:`TimingModel`.
+
+    Kernels hand their :class:`KernelStats` to :meth:`measure`; the device
+    checks the memory footprint and returns a :class:`Measurement` with the
+    estimated execution time and utilization figures.
+    """
+
+    spec: GPUSpec = field(default_factory=lambda: V100)
+    timing: TimingModel = field(default_factory=TimingModel)
+
+    def measure(self, stats: KernelStats) -> Measurement:
+        """Estimate the execution of one kernel launch (or fused launches)."""
+        if stats.footprint_bytes > self.spec.dram_bytes:
+            raise SimulatedOOMError(stats.footprint_bytes, self.spec.dram_bytes)
+        breakdown = self.timing.estimate(stats, self.spec)
+        total_s = breakdown.total_s
+        flops = float(stats.flops)
+        peak = self.spec.fp32_gflops * 1e9
+        throughput = 0.0 if total_s <= 0.0 else min(1.0, flops / total_s / peak)
+        return Measurement(
+            time_s=total_s,
+            breakdown=breakdown,
+            stats=stats,
+            compute_throughput=throughput,
+        )
+
+    def measure_many(self, stats_list: list[KernelStats]) -> Measurement:
+        """Measure a sequence of dependent kernel launches (summed time)."""
+        if not stats_list:
+            raise ValueError("measure_many requires at least one KernelStats")
+        measurements = [self.measure(s) for s in stats_list]
+        total = float(np.sum([m.time_s for m in measurements]))
+        combined = KernelStats.merge(stats_list)
+        breakdown = measurements[0].breakdown.scaled_to(total)
+        flops = float(combined.flops)
+        peak = self.spec.fp32_gflops * 1e9
+        throughput = 0.0 if total <= 0.0 else min(1.0, flops / total / peak)
+        return Measurement(
+            time_s=total,
+            breakdown=breakdown,
+            stats=combined,
+            compute_throughput=throughput,
+        )

@@ -1,0 +1,73 @@
+"""Human-readable kernel profiles — a miniature Nsight for the simulator.
+
+Given a :class:`~repro.gpu.stats.Measurement`, classifies the kernel
+(memory- vs compute-bound), reports achieved bandwidth/throughput against
+the device's peaks, and renders the per-component time breakdown used by
+the Figure 11 fidelity analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import GPUSpec, V100
+from repro.gpu.stats import Measurement
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Derived profile quantities for one simulated kernel."""
+
+    bound: str  # "memory" | "compute" | "launch"
+    arithmetic_intensity: float  # flops per byte of global traffic
+    achieved_bandwidth_gbs: float
+    achieved_gflops: float
+    bandwidth_fraction: float
+    compute_fraction: float
+    imbalance: float
+    launch_fraction: float
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"bound:                {self.bound}",
+                f"arithmetic intensity: {self.arithmetic_intensity:.3f} flop/B",
+                f"achieved bandwidth:   {self.achieved_bandwidth_gbs:.1f} GB/s "
+                f"({self.bandwidth_fraction:.1%} of peak)",
+                f"achieved compute:     {self.achieved_gflops:.1f} GFLOP/s "
+                f"({self.compute_fraction:.1%} of peak)",
+                f"block imbalance:      {self.imbalance:.2f}x",
+                f"launch overhead:      {self.launch_fraction:.1%} of total time",
+            ]
+        )
+
+
+def profile(measurement: Measurement, spec: GPUSpec | None = None) -> KernelProfile:
+    """Derive a :class:`KernelProfile` from a measurement."""
+    spec = spec or V100
+    stats = measurement.stats
+    bd = measurement.breakdown
+    total = measurement.time_s
+    if total <= 0:
+        raise ValueError("measurement has non-positive time")
+    bytes_moved = stats.total_load_bytes + stats.total_store_bytes
+    intensity = stats.flops / bytes_moved if bytes_moved > 0 else float("inf")
+    bw = bytes_moved / total / 1e9
+    gflops = stats.flops / total / 1e9
+    launch_frac = min(1.0, bd.launch_s / total)
+    if launch_frac > 0.5:
+        bound = "launch"
+    elif bd.memory_s >= bd.compute_s:
+        bound = "memory"
+    else:
+        bound = "compute"
+    return KernelProfile(
+        bound=bound,
+        arithmetic_intensity=intensity,
+        achieved_bandwidth_gbs=bw,
+        achieved_gflops=gflops,
+        bandwidth_fraction=bw / spec.mem_bandwidth_gbs,
+        compute_fraction=gflops / spec.fp32_gflops,
+        imbalance=bd.imbalance,
+        launch_fraction=launch_frac,
+    )

@@ -1,0 +1,29 @@
+"""Simulated-GPU SpMM kernels.
+
+Each kernel pairs a numeric execution path (vectorized NumPy/SciPy consuming
+the format's arrays) with a structural statistics path
+(:class:`repro.gpu.stats.KernelStats`) from which the simulated device
+derives the execution time.  One kernel class per scheduling strategy of the
+systems compared in Section 7.
+"""
+
+from repro.kernels.base import SpMMKernel, spmm_reference
+from repro.kernels.bcsr_spmm import BCSRSpMM
+from repro.kernels.cell_spmm import CELLSpMM
+from repro.kernels.csr_spmm import DgSparseSpMM, RowSplitCSRSpMM, SputnikSpMM
+from repro.kernels.ell_spmm import ELLSpMM, SlicedELLSpMM
+from repro.kernels.taco_spmm import TacoSchedule, TacoSpMM
+
+__all__ = [
+    "SpMMKernel",
+    "spmm_reference",
+    "RowSplitCSRSpMM",
+    "SputnikSpMM",
+    "DgSparseSpMM",
+    "TacoSpMM",
+    "TacoSchedule",
+    "BCSRSpMM",
+    "ELLSpMM",
+    "SlicedELLSpMM",
+    "CELLSpMM",
+]

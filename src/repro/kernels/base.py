@@ -1,0 +1,106 @@
+"""Kernel abstraction and shared statistics helpers."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formats.base import SparseFormat, VALUE_DTYPE
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.stats import KernelStats, Measurement
+
+#: Bytes per 32-bit word.
+WORD = 4
+
+
+def spmm_reference(A: sp.csr_matrix, B: np.ndarray) -> np.ndarray:
+    """Ground-truth C = A @ B used to verify every kernel's result."""
+    B = np.asarray(B, dtype=VALUE_DTYPE)
+    return np.asarray(A @ B, dtype=VALUE_DTYPE)
+
+
+def check_dense_operand(B: np.ndarray, K: int) -> np.ndarray:
+    """Validate and canonicalize the dense operand of SpMM."""
+    B = np.ascontiguousarray(B, dtype=VALUE_DTYPE)
+    if B.ndim != 2:
+        raise ValueError(f"B must be 2-D, got shape {B.shape}")
+    if B.shape[0] != K:
+        raise ValueError(f"B has {B.shape[0]} rows, expected {K}")
+    return B
+
+
+#: Default number of co-resident thread blocks assumed by kernels when
+#: forming L2 reuse waves (the V100's 80 SMs x 8 resident blocks).
+DEFAULT_WAVE_BLOCKS = 640
+
+
+def wave_unique_refs(
+    indptr: np.ndarray, indices: np.ndarray, rows_per_wave: int, num_cols: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct and total column references per wave of CSR rows.
+
+    A *wave* is a group of ``rows_per_wave`` consecutive rows whose thread
+    blocks are co-resident on the device.  Exact and vectorized:
+    O(nnz log nnz).  Waves whose rows share neighbors fetch fewer rows of
+    ``B`` — the locality signal the cache model consumes.
+    """
+    n_rows = indptr.size - 1
+    if n_rows == 0 or indices.size == 0:
+        z = np.zeros(0, dtype=np.int64)
+        return z, z
+    rows_per_wave = max(1, int(rows_per_wave))
+    lengths = np.diff(indptr).astype(np.int64)
+    row_of = np.repeat(np.arange(n_rows, dtype=np.int64), lengths)
+    wave_of = row_of // rows_per_wave
+    n_waves = -(-n_rows // rows_per_wave)
+    refs = np.bincount(wave_of, minlength=n_waves).astype(np.int64)
+    keys = wave_of * np.int64(num_cols) + indices.astype(np.int64)
+    uniq = np.unique(keys)
+    unique = np.bincount(
+        (uniq // np.int64(num_cols)).astype(np.int64), minlength=n_waves
+    ).astype(np.int64)
+    return unique, refs
+
+
+def operand_footprint(format_bytes: float, K: int, I: int, J: int) -> float:
+    """Device-resident bytes: format arrays + dense B + dense C."""
+    return float(format_bytes) + (K + I) * J * WORD
+
+
+class SpMMKernel(abc.ABC):
+    """A GPU SpMM kernel: numeric execution + structural cost statistics.
+
+    Subclasses implement :meth:`plan` (emit :class:`KernelStats` for a given
+    format and dense width ``J``) and :meth:`execute` (compute ``C``
+    numerically from the format's own arrays).  :meth:`run` combines both on
+    a :class:`SimulatedDevice`.
+    """
+
+    #: Human-readable kernel name (system whose strategy it reproduces).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def plan(self, fmt: SparseFormat, J: int) -> KernelStats:
+        """Derive the structural work statistics for ``C = A @ B``."""
+
+    @abc.abstractmethod
+    def execute(self, fmt: SparseFormat, B: np.ndarray) -> np.ndarray:
+        """Compute the numeric result from the format's arrays."""
+
+    def run(
+        self, fmt: SparseFormat, B: np.ndarray, device: SimulatedDevice
+    ) -> tuple[np.ndarray, Measurement]:
+        """Execute numerically and measure on the simulated device."""
+        stats = self.plan(fmt, int(B.shape[1]))
+        measurement = device.measure(stats)
+        C = self.execute(fmt, B)
+        return C, measurement
+
+    def measure(self, fmt: SparseFormat, J: int, device: SimulatedDevice) -> Measurement:
+        """Timing-only path (no numeric execution) for tuners and sweeps."""
+        return device.measure(self.plan(fmt, int(J)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

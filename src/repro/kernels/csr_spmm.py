@@ -1,0 +1,215 @@
+"""CSR SpMM kernels: cuSPARSE-, Sputnik-, and dgSPARSE-style schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csr import CSRFormat
+from repro.gpu.memory import CacheModel, coalesced_bytes, scattered_bytes
+from repro.gpu.stats import KernelStats
+from repro.kernels.base import (
+    DEFAULT_WAVE_BLOCKS,
+    WORD,
+    SpMMKernel,
+    check_dense_operand,
+    operand_footprint,
+    wave_unique_refs,
+)
+
+
+class RowSplitCSRSpMM(SpMMKernel):
+    """Row-split CSR SpMM — the cuSPARSE-style baseline schedule.
+
+    One warp per sparse row; the warp's lanes tile the dense dimension
+    ``J``, so accesses to ``B[k, :]`` are coalesced bursts.  Thread blocks
+    cover ``rows_per_block`` consecutive rows.  The strategy's weaknesses,
+    which the statistics expose directly, are (a) load imbalance when row
+    lengths are skewed — a block finishes with its *longest* row — and
+    (b) per-row loop overhead dominating on very short rows.
+    """
+
+    name = "cusparse"
+
+    #: Generic library code: no shared-memory staging, so the reuse floor is
+    #: higher than the hand-tuned kernels below.
+    DEFAULT_CACHE = CacheModel(min_miss=0.12)
+    #: Whether the A column-index gather issues full sectors per warp
+    #: (wasteful on short rows); hand-tuned kernels stage them instead.
+    SECTORED_INDEX_LOADS = True
+    #: Generic library entry points run an analysis/setup pass per call.
+    NUM_LAUNCHES = 2
+    #: Achieved-DRAM-bandwidth multiplier: the generic gather kernel is
+    #: latency-bound and sustains less of peak than streaming kernels.
+    BANDWIDTH_EFFICIENCY = 0.85
+    #: Whether B-traffic waves follow the (possibly swizzled) processing
+    #: order instead of the natural row order.
+    TRAFFIC_FOLLOWS_ROW_ORDER = False
+
+    def __init__(
+        self,
+        rows_per_block: int = 4,
+        row_overhead: float = 16.0,
+        cache: CacheModel | None = None,
+        wave_blocks: int = DEFAULT_WAVE_BLOCKS,
+    ):
+        if rows_per_block < 1:
+            raise ValueError(f"rows_per_block must be >= 1, got {rows_per_block}")
+        self.rows_per_block = rows_per_block
+        #: Fixed work (in element-equivalents) charged per row for loop
+        #: setup, pointer chasing, and short-row underutilization.
+        self.row_overhead = row_overhead
+        self.cache = cache or self.DEFAULT_CACHE
+        #: Co-resident thread blocks forming one L2 reuse wave.
+        self.wave_blocks = wave_blocks
+
+    # -- schedule hooks overridden by subclasses -----------------------
+    def _row_order(self, fmt: CSRFormat) -> np.ndarray | None:
+        """Row permutation applied before forming thread blocks.
+
+        Affects load balance only: real swizzles remap row ids inside the
+        kernel, which leaves the L2's view of B-traffic locality (set by
+        wave co-residency over the whole device) essentially unchanged.
+        """
+        return None
+
+    def _j_tile(self, J: int) -> int:
+        """Output-column tile width per thread block (default: all of J)."""
+        return J
+
+    def plan(self, fmt: CSRFormat, J: int) -> KernelStats:
+        if not isinstance(fmt, CSRFormat):
+            raise TypeError(f"{self.name} kernel requires CSRFormat, got {type(fmt).__name__}")
+        I, K = fmt.shape
+        nnz = fmt.nnz
+        lengths = fmt.row_lengths
+        order = self._row_order(fmt)
+        if order is not None:
+            lengths = lengths[order]
+        rpb = self.rows_per_block
+        n_units = int(lengths.size)
+        n_blocks = -(-n_units // rpb) if n_units else 0
+        pad = n_blocks * rpb - n_units
+        padded = np.concatenate([lengths, np.zeros(pad, dtype=lengths.dtype)])
+        per_block = padded.reshape(n_blocks, rpb) if n_blocks else padded.reshape(0, rpb)
+        # flops per block: the block retires with its longest row's warp.
+        # Output tiling (j_tile < J) splits each row's work across several
+        # blocks, shrinking the worst straggler proportionally.
+        jt = max(1, min(self._j_tile(J), J))
+        j_repeats = -(-J // jt)
+        block_costs = np.tile(
+            2.0 * (per_block.max(axis=1) + self.row_overhead) * jt, j_repeats
+        )
+
+        if self.TRAFFIC_FOLLOWS_ROW_ORDER and order is not None:
+            # Swizzled processing scrambles which rows are co-resident,
+            # degrading the wave's column locality.
+            nat_lengths = fmt.row_lengths
+            perm_lengths = nat_lengths[order]
+            perm_indptr = np.concatenate([[0], np.cumsum(perm_lengths)]).astype(
+                np.int64
+            )
+            starts = fmt.indptr[order].astype(np.int64)
+            src = np.repeat(starts, perm_lengths) + (
+                np.arange(nnz) - np.repeat(perm_indptr[:-1], perm_lengths)
+            )
+            w_indptr, w_indices = perm_indptr, fmt.indices[src]
+        else:
+            w_indptr, w_indices = fmt.indptr, fmt.indices
+        unique, refs = wave_unique_refs(
+            w_indptr, w_indices, rpb * self.wave_blocks, K
+        )
+        b_bytes = self.cache.b_traffic_bytes(
+            unique_per_wave=unique,
+            refs_per_wave=refs,
+            J=J,
+            num_b_rows=K,
+        )
+        if self.SECTORED_INDEX_LOADS and nnz:
+            # Each warp gathers its own row's indices; short rows waste most
+            # of every 32-byte sector.
+            avg_len = nnz / max(1, int(np.count_nonzero(lengths)))
+            index_bytes = scattered_bytes(nnz, locality=min(1.0, avg_len / 8.0))
+        else:
+            index_bytes = coalesced_bytes(nnz)
+        a_bytes = index_bytes + coalesced_bytes(I + 1 + nnz)  # + indptr + val
+        c_bytes = coalesced_bytes(I * J)
+        return KernelStats(
+            coalesced_load_bytes=a_bytes + b_bytes,
+            scattered_load_bytes=0.0,
+            coalesced_store_bytes=c_bytes,
+            atomic_store_bytes=0.0,
+            flops=2.0 * nnz * J,
+            block_costs=block_costs,
+            threads_per_block=self.rows_per_block * 32,
+            lane_utilization=1.0,
+            bandwidth_efficiency=self.BANDWIDTH_EFFICIENCY,
+            lpt_dispatch=self._row_order(fmt) is not None,
+            num_launches=self.NUM_LAUNCHES,
+            footprint_bytes=operand_footprint(fmt.footprint_bytes, K, I, J),
+            label=self.name,
+        )
+
+    def execute(self, fmt: CSRFormat, B: np.ndarray) -> np.ndarray:
+        B = check_dense_operand(B, fmt.shape[1])
+        return np.asarray(fmt.to_csr() @ B)
+
+
+class SputnikSpMM(RowSplitCSRSpMM):
+    """Sputnik-style CSR SpMM [Gale et al., SC'20].
+
+    Adds (a) *row swizzle*: rows are sorted by length so each block's warps
+    process similar-length rows, removing most intra-block imbalance, and
+    (b) subwarp tiling + vector memory instructions, reducing the fixed
+    per-row overhead.  The memory side is unchanged CSR traffic.
+    """
+
+    name = "sputnik"
+
+    DEFAULT_CACHE = CacheModel(min_miss=0.08)
+    SECTORED_INDEX_LOADS = False  # vector loads fetch index tiles wholesale
+    NUM_LAUNCHES = 1  # single hand-written kernel
+    BANDWIDTH_EFFICIENCY = 0.92  # vector loads, but still a gather kernel
+    TRAFFIC_FOLLOWS_ROW_ORDER = True  # swizzle scrambles wave locality
+
+    def __init__(
+        self,
+        rows_per_block: int = 4,
+        row_overhead: float = 6.0,
+        cache: CacheModel | None = None,
+        j_tile: int = 128,
+    ):
+        super().__init__(rows_per_block=rows_per_block, row_overhead=row_overhead, cache=cache)
+        #: Sputnik's 1-D output tiling: each block owns a (rows x j_tile)
+        #: slice of C, so a long row's work spreads over J/j_tile blocks.
+        self.j_tile = j_tile
+
+    def _row_order(self, fmt: CSRFormat) -> np.ndarray:
+        # Stable descending length sort: the published row-swizzle balance trick.
+        return np.argsort(-fmt.row_lengths, kind="stable")
+
+    def _j_tile(self, J: int) -> int:
+        return self.j_tile
+
+
+class DgSparseSpMM(RowSplitCSRSpMM):
+    """dgSPARSE/GE-SpMM-style CSR SpMM [Huang et al., SC'20].
+
+    Coalesced row caching: the block stages its rows' column indices in
+    shared memory so warps issue wide coalesced loads of ``B`` and reuse
+    staged indices, improving achieved reuse (lower cache miss floor) while
+    keeping the natural row order.
+    """
+
+    name = "dgsparse"
+
+    DEFAULT_CACHE = CacheModel(min_miss=0.06)
+    SECTORED_INDEX_LOADS = False  # indices staged through shared memory
+    NUM_LAUNCHES = 1  # single hand-written kernel
+    BANDWIDTH_EFFICIENCY = 0.92  # coalesced, but gather-bound row groups
+
+    def __init__(self, rows_per_block: int = 4, row_overhead: float = 4.0, cache: CacheModel | None = None):
+        super().__init__(
+            rows_per_block=rows_per_block,
+            row_overhead=row_overhead,
+            cache=cache,
+        )

@@ -1,0 +1,176 @@
+"""SDDMM kernels — Section 10's "various sparse computational kernels".
+
+Sampled dense-dense matrix multiplication computes, for every stored
+position of a sparse matrix ``A``::
+
+    C[i, j] = A[i, j] * (U[i, :] . V[j, :])
+
+with dense ``U (I, K)`` and ``V (J_cols, K)`` — the sparse-attention /
+GNN-edge-score primitive that pairs with SpMM in transformer-style GNNs.
+The CELL variant reuses the format's structural regularity the same way
+the SpMM kernel does: coalesced index/value streams, uniform blocks, and
+partition-bounded gather windows on ``V``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formats.base import VALUE_DTYPE
+from repro.formats.cell import CELLFormat
+from repro.formats.csr import CSRFormat
+from repro.formats.ell import PAD
+from repro.gpu.memory import CacheModel, coalesced_bytes
+from repro.gpu.stats import KernelStats
+from repro.kernels.base import (
+    DEFAULT_WAVE_BLOCKS,
+    SpMMKernel,
+    wave_unique_refs,
+)
+
+#: Row-chunk size for the vectorized execution path (bounds temporaries).
+_CHUNK_NNZ = 1 << 18
+
+
+def sddmm_reference(A: sp.csr_matrix, U: np.ndarray, V: np.ndarray) -> sp.csr_matrix:
+    """Ground truth: ``A .* (U @ V.T)`` restricted to A's pattern."""
+    U = np.asarray(U, dtype=VALUE_DTYPE)
+    V = np.asarray(V, dtype=VALUE_DTYPE)
+    _check_operands(A.shape, U, V)
+    out = A.copy().astype(VALUE_DTYPE)
+    rows = np.repeat(np.arange(A.shape[0]), np.diff(A.indptr))
+    vals = np.empty(A.nnz, dtype=VALUE_DTYPE)
+    for lo in range(0, A.nnz, _CHUNK_NNZ):
+        hi = min(lo + _CHUNK_NNZ, A.nnz)
+        vals[lo:hi] = np.einsum(
+            "ij,ij->i", U[rows[lo:hi]], V[A.indices[lo:hi]], dtype=np.float32
+        )
+    out.data = A.data * vals
+    return out
+
+
+def _check_operands(shape: tuple[int, int], U: np.ndarray, V: np.ndarray) -> None:
+    if U.ndim != 2 or V.ndim != 2:
+        raise ValueError("U and V must be 2-D")
+    if U.shape[0] != shape[0]:
+        raise ValueError(f"U has {U.shape[0]} rows, expected {shape[0]}")
+    if V.shape[0] != shape[1]:
+        raise ValueError(f"V has {V.shape[0]} rows, expected {shape[1]}")
+    if U.shape[1] != V.shape[1]:
+        raise ValueError(
+            f"feature dims differ: U has {U.shape[1]}, V has {V.shape[1]}"
+        )
+
+
+class CSRSDDMM(SpMMKernel):
+    """Element-parallel SDDMM over CSR: one warp per stored element group."""
+
+    name = "sddmm-csr"
+
+    def __init__(self, cache: CacheModel | None = None, wave_blocks: int = DEFAULT_WAVE_BLOCKS):
+        self.cache = cache or CacheModel(min_miss=0.12)
+        self.wave_blocks = wave_blocks
+        self.nnz_per_block = 128
+
+    def plan(self, fmt: CSRFormat, K: int) -> KernelStats:
+        if not isinstance(fmt, CSRFormat):
+            raise TypeError(f"{self.name} requires CSRFormat, got {type(fmt).__name__}")
+        I, Jc = fmt.shape
+        nnz = fmt.nnz
+        npb = self.nnz_per_block
+        n_blocks = -(-nnz // npb) if nnz else 0
+        block_costs = np.full(n_blocks, 2.0 * npb * K)
+        # U rows stream sequentially (row-major over elements); V rows are a
+        # gather indexed by colInd with wave-level reuse, like SpMM's B.
+        unique, refs = wave_unique_refs(
+            fmt.indptr, fmt.indices, max(1, npb * self.wave_blocks // 8), Jc
+        )
+        v_bytes = self.cache.b_traffic_bytes(unique, refs, K, Jc)
+        u_bytes = coalesced_bytes(min(nnz, I) * K)
+        a_bytes = coalesced_bytes(I + 1 + 2 * nnz)
+        return KernelStats(
+            coalesced_load_bytes=a_bytes + u_bytes + v_bytes,
+            coalesced_store_bytes=coalesced_bytes(nnz),
+            flops=2.0 * nnz * K,
+            block_costs=block_costs,
+            lane_utilization=1.0,
+            lpt_dispatch=True,
+            num_launches=1,
+            footprint_bytes=fmt.footprint_bytes + (I + Jc) * K * 4 + nnz * 4,
+            label=self.name,
+        )
+
+    def execute(self, fmt: CSRFormat, operands) -> sp.csr_matrix:
+        U, V = operands
+        A = fmt.to_csr()
+        return sddmm_reference(A, U, V)
+
+
+class CELLSDDMM(SpMMKernel):
+    """Blockwise SDDMM over CELL buckets: uniform 2^k-element blocks."""
+
+    name = "sddmm-cell"
+
+    def __init__(self, cache: CacheModel | None = None, wave_blocks: int = DEFAULT_WAVE_BLOCKS):
+        self.cache = cache or CacheModel()
+        self.wave_blocks = wave_blocks
+
+    def plan(self, fmt: CELLFormat, K: int) -> KernelStats:
+        if not isinstance(fmt, CELLFormat):
+            raise TypeError(f"{self.name} requires CELLFormat, got {type(fmt).__name__}")
+        I, Jc = fmt.shape
+        per_bucket = []
+        for part, bucket in fmt.iter_buckets():
+            R, W = bucket.num_rows, bucket.width
+            stored = bucket.stored_elements
+            unique, refs = bucket.wave_traffic(bucket.block_rows * self.wave_blocks)
+            v_bytes = self.cache.b_traffic_bytes(unique, refs, K, part.num_cols)
+            n_blocks = bucket.num_blocks
+            costs = np.full(n_blocks, 2.0 * bucket.block_nnz * K)
+            per_bucket.append(
+                KernelStats(
+                    coalesced_load_bytes=coalesced_bytes(R + 2 * stored + R * K) + v_bytes,
+                    coalesced_store_bytes=coalesced_bytes(stored),
+                    flops=2.0 * stored * K,
+                    block_costs=costs,
+                    lane_utilization=1.0,
+                    bandwidth_efficiency=1.15,
+                    lpt_dispatch=True,
+                    num_launches=1,
+                    footprint_bytes=fmt.footprint_bytes + (I + Jc) * K * 4,
+                    label=f"{self.name}[w={W}]",
+                )
+            )
+        if not per_bucket:
+            return KernelStats(num_launches=1, label=self.name)
+        merged = KernelStats.merge(per_bucket)
+        merged.num_launches = 1
+        merged.label = self.name
+        return merged
+
+    def execute(self, fmt: CELLFormat, operands) -> sp.csr_matrix:
+        U, V = operands
+        U = np.asarray(U, dtype=VALUE_DTYPE)
+        V = np.asarray(V, dtype=VALUE_DTYPE)
+        _check_operands(fmt.shape, U, V)
+        rows_all, cols_all, vals_all = [], [], []
+        for _, bucket in fmt.iter_buckets():
+            mask = bucket.col != PAD
+            if not mask.any():
+                continue
+            local_rows, _ = np.nonzero(mask)
+            rows = bucket.row_ind.astype(np.int64)[local_rows]
+            cols = bucket.col[mask].astype(np.int64)
+            vals = bucket.val[mask]
+            dots = np.einsum("ij,ij->i", U[rows], V[cols], dtype=np.float32)
+            rows_all.append(rows)
+            cols_all.append(cols)
+            vals_all.append(vals * dots)
+        if not rows_all:
+            return sp.csr_matrix(fmt.shape, dtype=VALUE_DTYPE)
+        return sp.csr_matrix(
+            (np.concatenate(vals_all), (np.concatenate(rows_all), np.concatenate(cols_all))),
+            shape=fmt.shape,
+            dtype=VALUE_DTYPE,
+        )

@@ -1,0 +1,52 @@
+"""Sparse matrix workloads: generators, GNN stand-ins, and feature extraction.
+
+The paper evaluates on seven GNN graphs (Table 4) and 1,351 SuiteSparse
+matrices.  Neither collection ships with this environment, so this package
+provides seeded synthetic generators spanning the same sparsity-pattern
+classes and matched summary statistics; see DESIGN.md for the substitution
+rationale and per-dataset scale factors.
+"""
+
+from repro.matrices.collection import CollectionEntry, SuiteSparseLikeCollection
+from repro.matrices.features import (
+    FORMAT_FEATURE_NAMES,
+    PARTITION_FEATURE_NAMES,
+    format_selection_features,
+    partition_features,
+)
+from repro.matrices.generators import (
+    banded_matrix,
+    block_diagonal_matrix,
+    community_graph,
+    diagonal_dominant_matrix,
+    mixture_matrix,
+    power_law_graph,
+    rmat_graph,
+    uniform_random_matrix,
+    with_dense_rows,
+)
+from repro.matrices.gnn import GNN_DATASETS, GNNDatasetSpec, make_gnn_standin
+from repro.matrices.io import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "SuiteSparseLikeCollection",
+    "CollectionEntry",
+    "FORMAT_FEATURE_NAMES",
+    "PARTITION_FEATURE_NAMES",
+    "format_selection_features",
+    "partition_features",
+    "banded_matrix",
+    "block_diagonal_matrix",
+    "community_graph",
+    "diagonal_dominant_matrix",
+    "mixture_matrix",
+    "power_law_graph",
+    "rmat_graph",
+    "uniform_random_matrix",
+    "with_dense_rows",
+    "GNN_DATASETS",
+    "GNNDatasetSpec",
+    "make_gnn_standin",
+    "read_matrix_market",
+    "write_matrix_market",
+]

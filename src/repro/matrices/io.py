@@ -1,0 +1,67 @@
+"""Minimal Matrix Market (.mtx) reader/writer.
+
+Supports the ``matrix coordinate real general/symmetric`` subset — enough
+to exchange matrices with SuiteSparse tooling — implemented on NumPy text
+IO so no external dependency is needed.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formats.base import VALUE_DTYPE, as_csr
+
+_HEADER = "%%MatrixMarket matrix coordinate real {symmetry}\n"
+
+
+def write_matrix_market(
+    A: sp.spmatrix, path: str | Path, symmetry: str = "general"
+) -> None:
+    """Write a sparse matrix in Matrix Market coordinate format."""
+    if symmetry not in ("general", "symmetric"):
+        raise ValueError(f"unsupported symmetry {symmetry!r}")
+    A = as_csr(A).tocoo()
+    if symmetry == "symmetric":
+        keep = A.row >= A.col
+        A = sp.coo_matrix(
+            (A.data[keep], (A.row[keep], A.col[keep])), shape=A.shape
+        )
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(_HEADER.format(symmetry=symmetry))
+        fh.write(f"{A.shape[0]} {A.shape[1]} {A.nnz}\n")
+        out = np.column_stack([A.row + 1, A.col + 1, A.data.astype(np.float64)])
+        np.savetxt(fh, out, fmt="%d %d %.9g")
+
+
+def read_matrix_market(path: str | Path) -> sp.csr_matrix:
+    """Read a Matrix Market coordinate file into canonical CSR."""
+    path = Path(path)
+    with path.open() as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket matrix coordinate real"):
+            raise ValueError(f"unsupported Matrix Market header: {header.strip()!r}")
+        symmetric = "symmetric" in header
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        rows, cols, nnz = (int(x) for x in line.split())
+        body = fh.read()
+    if nnz == 0:
+        return sp.csr_matrix((rows, cols), dtype=VALUE_DTYPE)
+    data = np.loadtxt(io.StringIO(body), ndmin=2)
+    if data.shape[0] != nnz:
+        raise ValueError(f"expected {nnz} entries, found {data.shape[0]}")
+    r = data[:, 0].astype(np.int64) - 1
+    c = data[:, 1].astype(np.int64) - 1
+    v = data[:, 2].astype(VALUE_DTYPE)
+    if symmetric:
+        off = r != c
+        r = np.concatenate([r, c[off]])
+        c = np.concatenate([c, data[:, 0].astype(np.int64)[off] - 1])
+        v = np.concatenate([v, v[off]])
+    return as_csr(sp.csr_matrix((v, (r, c)), shape=(rows, cols)))

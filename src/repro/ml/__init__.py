@@ -1,0 +1,64 @@
+"""From-scratch NumPy machine-learning library.
+
+scikit-learn is not available in this environment, so this package
+implements the ten classifiers the paper evaluates in Tables 5 and 6
+(Random Forest, KNeighbors, Linear SVM, RBF SVM, Gaussian Process,
+Decision Tree, Neural Net, AdaBoost, Naive Bayes, QDA), plus the metrics,
+preprocessing, and model-selection utilities LiteForm needs.
+
+The implementations follow the classic formulations; they are black boxes
+to the rest of the system, exactly as scikit-learn is to the paper.
+"""
+
+from repro.ml.adaboost import AdaBoostClassifier
+from repro.ml.base import BaseClassifier, check_X_y, check_array
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gaussian_process import GaussianProcessClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    cosine_similarity,
+    f1_score,
+    partition_similarity,
+    precision_score,
+    recall_score,
+)
+from repro.ml.model_selection import KFold, cross_val_score, train_test_split
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.neural_net import MLPClassifier
+from repro.ml.preprocessing import LabelEncoder, StandardScaler
+from repro.ml.qda import QuadraticDiscriminantAnalysis
+from repro.ml.svm import LinearSVMClassifier, RBFSVMClassifier
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.zoo import CLASSIFIER_NAMES, make_classifier_zoo
+
+__all__ = [
+    "BaseClassifier",
+    "check_X_y",
+    "check_array",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "KNeighborsClassifier",
+    "LinearSVMClassifier",
+    "RBFSVMClassifier",
+    "GaussianProcessClassifier",
+    "MLPClassifier",
+    "AdaBoostClassifier",
+    "GaussianNB",
+    "QuadraticDiscriminantAnalysis",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "cosine_similarity",
+    "partition_similarity",
+    "train_test_split",
+    "KFold",
+    "cross_val_score",
+    "StandardScaler",
+    "LabelEncoder",
+    "CLASSIFIER_NAMES",
+    "make_classifier_zoo",
+]

@@ -1,0 +1,71 @@
+"""Estimator base class and input validation."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+def check_array(X: np.ndarray, name: str = "X") -> np.ndarray:
+    """Validate and canonicalize a 2-D float feature array."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {X.shape}")
+    if X.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one sample")
+    if not np.all(np.isfinite(X)):
+        raise ValueError(f"{name} contains NaN or infinity")
+    return X
+
+
+def check_X_y(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix and its label vector together."""
+    X = check_array(X)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if y.shape[0] != X.shape[0]:
+        raise ValueError(
+            f"X has {X.shape[0]} samples but y has {y.shape[0]} labels"
+        )
+    return X, y
+
+
+class BaseClassifier(abc.ABC):
+    """Common interface: ``fit(X, y) -> self``, ``predict(X) -> labels``.
+
+    Subclasses store ``classes_`` (sorted unique labels) after ``fit`` and
+    work internally with integer class codes.  ``predict_proba`` is optional
+    but provided by most implementations.
+    """
+
+    classes_: np.ndarray
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BaseClassifier":
+        """Train on features ``X`` (n, d) and labels ``y`` (n,)."""
+
+    @abc.abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict a label for every row of ``X``."""
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        """Set ``classes_`` and return integer codes for ``y``."""
+        self.classes_, codes = np.unique(y, return_inverse=True)
+        return codes
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError(
+                f"{type(self).__name__} must be fitted before predicting"
+            )
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on the given test data."""
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(np.asarray(y), self.predict(X))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,64 @@
+"""Random Forest: bagged CART trees with per-node feature subsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_X_y, check_array
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(BaseClassifier):
+    """Bootstrap-aggregated decision trees (soft-voting ensemble).
+
+    The model LiteForm adopts for both predictors (Section 6): best
+    accuracy in Tables 5-6 at sub-second training cost.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int | None = None,
+        max_features: int | str | None = "sqrt",
+        min_samples_split: int = 2,
+        seed: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.min_samples_split = min_samples_split
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        n = X.shape[0]
+        rng = np.random.default_rng(self.seed)
+        self.trees_: list[DecisionTreeClassifier] = []
+        self._tree_class_maps: list[np.ndarray] = []
+        for t in range(self.n_estimators):
+            boot = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=self.max_features,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[boot], codes[boot])
+            self.trees_.append(tree)
+            # A bootstrap may miss classes; remember the tree's code->global map.
+            self._tree_class_maps.append(tree.classes_.astype(np.int64))
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = check_array(X)
+        agg = np.zeros((X.shape[0], self.classes_.size))
+        for tree, cmap in zip(self.trees_, self._tree_class_maps):
+            agg[:, cmap] += tree.predict_proba(X)
+        return agg / len(self.trees_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

@@ -1,0 +1,42 @@
+"""k-nearest-neighbours classifier (brute force, Euclidean)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.ml.base import BaseClassifier, check_X_y, check_array
+
+
+class KNeighborsClassifier(BaseClassifier):
+    """Majority vote among the ``k`` nearest training points.
+
+    Near-zero training cost and moderate inference cost, matching its
+    Table 5 profile (fastest to "train", slower to query).
+    """
+
+    def __init__(self, n_neighbors: int = 5):
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        self.n_neighbors = n_neighbors
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X, y = check_X_y(X, y)
+        self._X = X
+        self._codes = self._encode_labels(y)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = check_array(X)
+        k = min(self.n_neighbors, self._X.shape[0])
+        d = cdist(X, self._X)
+        nearest = np.argpartition(d, k - 1, axis=1)[:, :k]
+        votes = self._codes[nearest]
+        out = np.zeros((X.shape[0], self.classes_.size))
+        rows = np.repeat(np.arange(X.shape[0]), k)
+        np.add.at(out, (rows, votes.ravel()), 1.0)
+        return out / k
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

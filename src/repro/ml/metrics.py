@@ -1,0 +1,100 @@
+"""Classification metrics and the paper's similarity measures (Eqs. 1-2).
+
+The paper reports identical accuracy/precision/recall/f1 values per model
+in Tables 5-6, which is the signature of *micro-averaged* multi-class
+metrics (they all reduce to accuracy); ``average="micro"`` is therefore the
+default here, with macro averaging available.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly correct predictions."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """C[i, j] = count of samples with true class i predicted as class j."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    classes = np.unique(np.concatenate([y_true, y_pred]))
+    index = {c: i for i, c in enumerate(classes)}
+    n = classes.size
+    cm = np.zeros((n, n), dtype=np.int64)
+    ti = np.array([index[c] for c in y_true])
+    pi = np.array([index[c] for c in y_pred])
+    np.add.at(cm, (ti, pi), 1)
+    return cm
+
+
+def _prf(y_true: np.ndarray, y_pred: np.ndarray, average: str) -> tuple[float, float, float]:
+    cm = confusion_matrix(y_true, y_pred)
+    tp = np.diag(cm).astype(np.float64)
+    pred_pos = cm.sum(axis=0).astype(np.float64)
+    true_pos = cm.sum(axis=1).astype(np.float64)
+    if average == "micro":
+        p = tp.sum() / max(pred_pos.sum(), 1.0)
+        r = tp.sum() / max(true_pos.sum(), 1.0)
+    elif average == "macro":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            pc = np.where(pred_pos > 0, tp / pred_pos, 0.0)
+            rc = np.where(true_pos > 0, tp / true_pos, 0.0)
+        p, r = float(pc.mean()), float(rc.mean())
+    else:
+        raise ValueError(f"average must be 'micro' or 'macro', got {average!r}")
+    f = 0.0 if p + r == 0 else 2 * p * r / (p + r)
+    return float(p), float(r), float(f)
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray, average: str = "micro") -> float:
+    return _prf(y_true, y_pred, average)[0]
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray, average: str = "micro") -> float:
+    return _prf(y_true, y_pred, average)[1]
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, average: str = "micro") -> float:
+    return _prf(y_true, y_pred, average)[2]
+
+
+def partition_similarity(predicted: float, actual: float) -> float:
+    """Eq. 1: ``1 - |p - p̂| / max(p, p̂)`` for a single partition count.
+
+    1.0 means exact; nearby counts score close to 1 because nearby partition
+    numbers deliver similar kernel performance (Section 5.2).
+    """
+    p, a = float(predicted), float(actual)
+    if p < 0 or a < 0:
+        raise ValueError("partition counts must be non-negative")
+    m = max(p, a)
+    if m == 0:
+        return 1.0
+    return 1.0 - abs(p - a) / m
+
+
+def cosine_similarity(u: np.ndarray, v: np.ndarray) -> float:
+    """Eq. 2: cosine similarity between predicted and actual partition vectors."""
+    u = np.asarray(u, dtype=np.float64).ravel()
+    v = np.asarray(v, dtype=np.float64).ravel()
+    if u.shape != v.shape:
+        raise ValueError(f"shape mismatch: {u.shape} vs {v.shape}")
+    nu, nv = np.linalg.norm(u), np.linalg.norm(v)
+    if nu == 0 or nv == 0:
+        return 1.0 if nu == nv else 0.0
+    return float(np.dot(u, v) / (nu * nv))

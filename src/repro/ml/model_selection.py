@@ -1,0 +1,85 @@
+"""Train/test splitting and cross-validation."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_X_y
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.2,
+    seed: int = 0,
+    stratify: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle-split into train/test; stratified by label by default.
+
+    The paper's Table 5 uses an 80/20 split of 514 matrices.
+    """
+    X, y = check_X_y(X, y)
+    if not 0.0 < test_size < 1.0:
+        raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+    rng = np.random.default_rng(seed)
+    n = X.shape[0]
+    if stratify:
+        test_idx_parts = []
+        for cls in np.unique(y):
+            members = np.nonzero(y == cls)[0]
+            members = rng.permutation(members)
+            k = max(1, int(round(members.size * test_size))) if members.size > 1 else 0
+            test_idx_parts.append(members[:k])
+        test_idx = np.concatenate(test_idx_parts) if test_idx_parts else np.zeros(0, int)
+    else:
+        perm = rng.permutation(n)
+        test_idx = perm[: max(1, int(round(n * test_size)))]
+    mask = np.zeros(n, dtype=bool)
+    mask[test_idx] = True
+    if mask.all():
+        mask[rng.integers(0, n)] = False  # keep at least one training sample
+    return X[~mask], X[mask], y[~mask], y[mask]
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, seed: int = 0):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        idx = np.arange(n_samples)
+        if self.shuffle:
+            idx = np.random.default_rng(self.seed).permutation(idx)
+        folds = np.array_split(idx, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+def cross_val_score(
+    model_factory,
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 5,
+    seed: int = 0,
+) -> np.ndarray:
+    """Accuracy per fold; ``model_factory()`` must return a fresh classifier."""
+    X, y = check_X_y(X, y)
+    scores = []
+    for train, test in KFold(n_splits=n_splits, seed=seed).split(X.shape[0]):
+        model: BaseClassifier = model_factory()
+        model.fit(X[train], y[train])
+        scores.append(model.score(X[test], y[test]))
+    return np.asarray(scores)

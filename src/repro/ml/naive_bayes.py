@@ -1,0 +1,54 @@
+"""Gaussian Naive Bayes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_X_y, check_array
+
+
+class GaussianNB(BaseClassifier):
+    """Per-class independent Gaussians with a variance floor.
+
+    Cheap and weak — the accuracy floor of Tables 5-6.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        if var_smoothing <= 0:
+            raise ValueError(f"var_smoothing must be positive, got {var_smoothing}")
+        self.var_smoothing = var_smoothing
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNB":
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        C, d = self.classes_.size, X.shape[1]
+        self.theta_ = np.zeros((C, d))
+        self.var_ = np.zeros((C, d))
+        self.class_log_prior_ = np.zeros(C)
+        eps = self.var_smoothing * max(X.var(axis=0).max(), 1e-12)
+        for c in range(C):
+            members = X[codes == c]
+            self.theta_[c] = members.mean(axis=0)
+            self.var_[c] = members.var(axis=0) + eps
+            self.class_log_prior_[c] = np.log(members.shape[0] / X.shape[0])
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        X = check_array(X)
+        ll = -0.5 * np.sum(
+            np.log(2.0 * np.pi * self.var_[None, :, :])
+            + (X[:, None, :] - self.theta_[None, :, :]) ** 2 / self.var_[None, :, :],
+            axis=2,
+        )
+        return ll + self.class_log_prior_[None, :]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        p = np.exp(jll)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return self.classes_[np.argmax(self._joint_log_likelihood(X), axis=1)]

@@ -1,0 +1,95 @@
+"""One-hidden-layer MLP classifier trained with Adam."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_X_y, check_array
+from repro.ml.preprocessing import StandardScaler
+
+
+class MLPClassifier(BaseClassifier):
+    """ReLU hidden layer + softmax output, cross-entropy loss, Adam."""
+
+    def __init__(
+        self,
+        hidden: int = 64,
+        epochs: int = 120,
+        batch_size: int = 32,
+        lr: float = 1e-3,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ):
+        if hidden < 1:
+            raise ValueError(f"hidden must be >= 1, got {hidden}")
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.l2 = l2
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        self._scaler = StandardScaler().fit(X)
+        Xs = self._scaler.transform(X)
+        n, d = Xs.shape
+        C = self.classes_.size
+        rng = np.random.default_rng(self.seed)
+        params = {
+            "W1": rng.normal(0, np.sqrt(2.0 / d), size=(d, self.hidden)),
+            "b1": np.zeros(self.hidden),
+            "W2": rng.normal(0, np.sqrt(2.0 / self.hidden), size=(self.hidden, C)),
+            "b2": np.zeros(C),
+        }
+        m = {k: np.zeros_like(v) for k, v in params.items()}
+        v = {k: np.zeros_like(v_) for k, v_ in params.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        t = 0
+        for epoch in range(self.epochs):
+            perm = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                t += 1
+                batch = perm[start : start + self.batch_size]
+                xb, yb = Xs[batch], codes[batch]
+                # forward
+                h_pre = xb @ params["W1"] + params["b1"]
+                h = np.maximum(h_pre, 0.0)
+                logits = h @ params["W2"] + params["b2"]
+                logits -= logits.max(axis=1, keepdims=True)
+                p = np.exp(logits)
+                p /= p.sum(axis=1, keepdims=True)
+                # backward
+                g_logits = p
+                g_logits[np.arange(batch.size), yb] -= 1.0
+                g_logits /= batch.size
+                grads = {
+                    "W2": h.T @ g_logits + self.l2 * params["W2"],
+                    "b2": g_logits.sum(axis=0),
+                }
+                g_h = (g_logits @ params["W2"].T) * (h_pre > 0)
+                grads["W1"] = xb.T @ g_h + self.l2 * params["W1"]
+                grads["b1"] = g_h.sum(axis=0)
+                for k in params:
+                    m[k] = beta1 * m[k] + (1 - beta1) * grads[k]
+                    v[k] = beta2 * v[k] + (1 - beta2) * grads[k] ** 2
+                    mh = m[k] / (1 - beta1**t)
+                    vh = v[k] / (1 - beta2**t)
+                    params[k] -= self.lr * mh / (np.sqrt(vh) + eps)
+        self._params = params
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        Xs = self._scaler.transform(check_array(X))
+        h = np.maximum(Xs @ self._params["W1"] + self._params["b1"], 0.0)
+        logits = h @ self._params["W2"] + self._params["b2"]
+        logits -= logits.max(axis=1, keepdims=True)
+        p = np.exp(logits)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

@@ -1,0 +1,61 @@
+"""Feature scaling and label encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_array
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance feature scaling (constant columns pass through)."""
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = check_array(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler must be fitted before transform")
+        X = check_array(X)
+        if X.shape[1] != self.mean_.size:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler fitted with {self.mean_.size}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class LabelEncoder:
+    """Map arbitrary labels to integer codes 0..K-1 and back."""
+
+    def fit(self, y: np.ndarray) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError("LabelEncoder must be fitted before transform")
+        y = np.asarray(y)
+        codes = np.searchsorted(self.classes_, y)
+        codes = np.clip(codes, 0, self.classes_.size - 1)
+        if not np.array_equal(self.classes_[codes], y):
+            unknown = set(np.unique(y)) - set(self.classes_)
+            raise ValueError(f"unseen labels: {sorted(unknown)!r}")
+        return codes
+
+    def fit_transform(self, y: np.ndarray) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, codes: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError("LabelEncoder must be fitted before inverse_transform")
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.size and (codes.min() < 0 or codes.max() >= self.classes_.size):
+            raise ValueError("codes out of range")
+        return self.classes_[codes]

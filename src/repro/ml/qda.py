@@ -1,0 +1,65 @@
+"""Quadratic Discriminant Analysis with covariance regularization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_X_y, check_array
+
+
+class QuadraticDiscriminantAnalysis(BaseClassifier):
+    """Per-class full-covariance Gaussians.
+
+    ``reg_param`` shrinks each covariance toward a scaled identity, which
+    keeps the model usable when a class has fewer samples than features.
+    """
+
+    def __init__(self, reg_param: float = 0.1):
+        if not 0.0 <= reg_param <= 1.0:
+            raise ValueError(f"reg_param must be in [0, 1], got {reg_param}")
+        self.reg_param = reg_param
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "QuadraticDiscriminantAnalysis":
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        C, d = self.classes_.size, X.shape[1]
+        self.means_ = np.zeros((C, d))
+        self._prec = np.zeros((C, d, d))
+        self._logdet = np.zeros(C)
+        self.priors_ = np.zeros(C)
+        for c in range(C):
+            members = X[codes == c]
+            self.means_[c] = members.mean(axis=0)
+            diff = members - self.means_[c]
+            cov = diff.T @ diff / max(members.shape[0] - 1, 1)
+            scale = max(np.trace(cov) / d, 1e-12)
+            cov = (1 - self.reg_param) * cov + self.reg_param * scale * np.eye(d)
+            cov += 1e-9 * scale * np.eye(d)
+            sign, logdet = np.linalg.slogdet(cov)
+            if sign <= 0:
+                raise np.linalg.LinAlgError("regularized covariance not PD")
+            self._prec[c] = np.linalg.inv(cov)
+            self._logdet[c] = logdet
+            self.priors_[c] = members.shape[0] / X.shape[0]
+        return self
+
+    def _scores(self, X: np.ndarray) -> np.ndarray:
+        X = check_array(X)
+        n, C = X.shape[0], self.classes_.size
+        s = np.zeros((n, C))
+        for c in range(C):
+            diff = X - self.means_[c]
+            maha = np.einsum("ij,jk,ik->i", diff, self._prec[c], diff)
+            s[:, c] = -0.5 * (maha + self._logdet[c]) + np.log(self.priors_[c])
+        return s
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        s = self._scores(X)
+        s -= s.max(axis=1, keepdims=True)
+        p = np.exp(s)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return self.classes_[np.argmax(self._scores(X), axis=1)]

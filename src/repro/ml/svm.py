@@ -1,0 +1,145 @@
+"""Support vector machines: linear (primal SGD) and RBF (dual ascent).
+
+Multi-class handling is one-vs-rest for both variants.  Features are
+standardized internally — SVMs are scale-sensitive and LiteForm's raw
+features span many orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_X_y, check_array
+from repro.ml.preprocessing import StandardScaler
+
+
+class LinearSVMClassifier(BaseClassifier):
+    """L2-regularized hinge loss trained with Pegasos-style SGD."""
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        epochs: int = 60,
+        batch_size: int = 32,
+        seed: int = 0,
+    ):
+        if C <= 0:
+            raise ValueError(f"C must be positive, got {C}")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        self.C = C
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVMClassifier":
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        self._scaler = StandardScaler().fit(X)
+        Xs = self._scaler.transform(X)
+        n, d = Xs.shape
+        C_cls = self.classes_.size
+        lam = 1.0 / (self.C * n)
+        rng = np.random.default_rng(self.seed)
+        self.coef_ = np.zeros((C_cls, d))
+        self.intercept_ = np.zeros(C_cls)
+        t = 0
+        for epoch in range(self.epochs):
+            perm = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                t += 1
+                eta = 1.0 / (lam * (t + 10))
+                batch = perm[start : start + self.batch_size]
+                xb = Xs[batch]
+                yb = np.where(codes[batch][None, :] == np.arange(C_cls)[:, None], 1.0, -1.0)
+                margins = yb * (self.coef_ @ xb.T + self.intercept_[:, None])
+                viol = margins < 1.0
+                grad_w = lam * self.coef_ - (viol * yb) @ xb / batch.size
+                grad_b = -(viol * yb).mean(axis=1)
+                self.coef_ -= eta * grad_w
+                self.intercept_ -= eta * grad_b
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        Xs = self._scaler.transform(check_array(X))
+        return Xs @ self.coef_.T + self.intercept_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+
+class RBFSVMClassifier(BaseClassifier):
+    """Kernel SVM with an RBF kernel, trained by projected gradient ascent
+    on the dual with box constraints (a simplified SMO stand-in suitable
+    for the few-thousand-sample training sets LiteForm uses)."""
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        gamma: float | str = "scale",
+        iterations: int = 200,
+        tol: float = 1e-4,
+    ):
+        if C <= 0:
+            raise ValueError(f"C must be positive, got {C}")
+        self.C = C
+        self.gamma = gamma
+        self.iterations = iterations
+        self.tol = tol
+
+    def _gamma_value(self, X: np.ndarray) -> float:
+        if self.gamma == "scale":
+            v = X.var()
+            return 1.0 / (X.shape[1] * v) if v > 0 else 1.0
+        g = float(self.gamma)
+        if g <= 0:
+            raise ValueError(f"gamma must be positive, got {g}")
+        return g
+
+    @staticmethod
+    def _rbf(A: np.ndarray, B: np.ndarray, gamma: float) -> np.ndarray:
+        aa = np.sum(A * A, axis=1)[:, None]
+        bb = np.sum(B * B, axis=1)[None, :]
+        d2 = np.maximum(aa + bb - 2.0 * (A @ B.T), 0.0)
+        return np.exp(-gamma * d2)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RBFSVMClassifier":
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        self._scaler = StandardScaler().fit(X)
+        Xs = self._scaler.transform(X)
+        self._X = Xs
+        self._gamma = self._gamma_value(Xs)
+        K = self._rbf(Xs, Xs, self._gamma)
+        n = Xs.shape[0]
+        C_cls = self.classes_.size
+        self._alpha_y = np.zeros((C_cls, n))
+        self._bias = np.zeros(C_cls)
+        # Lipschitz step: diag of RBF kernel is 1.
+        step = 1.0 / max(np.linalg.norm(K, ord=np.inf), 1.0)
+        for c in range(C_cls):
+            yb = np.where(codes == c, 1.0, -1.0)
+            alpha = np.zeros(n)
+            for _ in range(self.iterations):
+                grad = 1.0 - yb * (K @ (alpha * yb))
+                new = np.clip(alpha + step * grad, 0.0, self.C)
+                if np.max(np.abs(new - alpha)) < self.tol:
+                    alpha = new
+                    break
+                alpha = new
+            self._alpha_y[c] = alpha * yb
+            sv = (alpha > 1e-8) & (alpha < self.C - 1e-8)
+            if sv.any():
+                self._bias[c] = np.mean(yb[sv] - K[sv] @ self._alpha_y[c])
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        Xs = self._scaler.transform(check_array(X))
+        K = self._rbf(Xs, self._X, self._gamma)
+        return K @ self._alpha_y.T + self._bias
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.decision_function(X), axis=1)]

@@ -1,0 +1,217 @@
+"""CART decision tree with weighted Gini impurity.
+
+Supports sample weights (needed by AdaBoost) and per-node feature
+subsampling (needed by Random Forest).  Split search is vectorized: for
+each candidate feature the samples are sorted once and class-weight prefix
+sums give the impurity of every threshold in O(n) after the sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_X_y, check_array
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry the class-probability distribution."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: int = -1
+    right: int = -1
+    proba: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+def _weighted_gini(class_weights: np.ndarray) -> float:
+    total = class_weights.sum()
+    if total <= 0:
+        return 0.0
+    p = class_weights / total
+    return float(1.0 - np.sum(p * p))
+
+
+def _best_split(
+    X: np.ndarray,
+    codes: np.ndarray,
+    w: np.ndarray,
+    n_classes: int,
+    features: np.ndarray,
+) -> tuple[int, float, float]:
+    """Best (feature, threshold, impurity_decrease) over candidate features.
+
+    Returns feature -1 when no split improves impurity.
+    """
+    n = X.shape[0]
+    total_w = w.sum()
+    parent_cw = np.zeros(n_classes)
+    np.add.at(parent_cw, codes, w)
+    parent_gini = _weighted_gini(parent_cw)
+
+    best_feature, best_threshold, best_gain = -1, 0.0, 1e-12
+    onehot_w = np.zeros((n, n_classes))
+    onehot_w[np.arange(n), codes] = w
+    for f in features:
+        order = np.argsort(X[:, f], kind="stable")
+        xs = X[order, f]
+        cum = np.cumsum(onehot_w[order], axis=0)  # (n, C) left class weights
+        left_w = cum.sum(axis=1)
+        right_cum = cum[-1] - cum
+        right_w = total_w - left_w
+        # Valid split positions: between distinct consecutive values.
+        valid = xs[:-1] < xs[1:]
+        if not valid.any():
+            continue
+        lw = left_w[:-1]
+        rw = right_w[:-1]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            gl = 1.0 - np.sum((cum[:-1] / np.maximum(lw, 1e-300)[:, None]) ** 2, axis=1)
+            gr = 1.0 - np.sum(
+                (right_cum[:-1] / np.maximum(rw, 1e-300)[:, None]) ** 2, axis=1
+            )
+        child = (lw * gl + rw * gr) / total_w
+        gain = np.where(valid & (lw > 0) & (rw > 0), parent_gini - child, -np.inf)
+        i = int(np.argmax(gain))
+        if gain[i] > best_gain:
+            best_gain = float(gain[i])
+            best_feature = int(f)
+            best_threshold = float(0.5 * (xs[i] + xs[i + 1]))
+    return best_feature, best_threshold, best_gain
+
+
+class DecisionTreeClassifier(BaseClassifier):
+    """CART classifier (Gini criterion).
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (None = grow until pure/min_samples).
+    min_samples_split:
+        Minimum samples required to attempt a split.
+    max_features:
+        ``None`` (all), ``"sqrt"``, or an int — features sampled per node.
+    seed:
+        RNG seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        max_features: int | str | None = None,
+        seed: int = 0,
+    ):
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise ValueError(f"min_samples_split must be >= 2, got {min_samples_split}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+
+    def _n_candidate_features(self, d: int) -> int:
+        if self.max_features is None:
+            return d
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        k = int(self.max_features)
+        if not 1 <= k <= d:
+            raise ValueError(f"max_features must be in [1, {d}], got {k}")
+        return k
+
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray | None = None
+    ) -> "DecisionTreeClassifier":
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        n, d = X.shape
+        C = self.classes_.size
+        if sample_weight is None:
+            w = np.full(n, 1.0 / n)
+        else:
+            w = np.asarray(sample_weight, dtype=np.float64)
+            if w.shape != (n,):
+                raise ValueError(f"sample_weight must have shape ({n},)")
+            if w.min() < 0:
+                raise ValueError("sample_weight must be non-negative")
+            w = w / max(w.sum(), 1e-300)
+        rng = np.random.default_rng(self.seed)
+        k_feat = self._n_candidate_features(d)
+
+        self._nodes: list[_Node] = []
+
+        def leaf(idx: np.ndarray) -> int:
+            cw = np.zeros(C)
+            np.add.at(cw, codes[idx], w[idx])
+            total = cw.sum()
+            proba = cw / total if total > 0 else np.full(C, 1.0 / C)
+            self._nodes.append(_Node(proba=proba))
+            return len(self._nodes) - 1
+
+        def build(idx: np.ndarray, depth: int) -> int:
+            sub_codes = codes[idx]
+            pure = np.all(sub_codes == sub_codes[0])
+            depth_cap = self.max_depth is not None and depth >= self.max_depth
+            if pure or depth_cap or idx.size < self.min_samples_split:
+                return leaf(idx)
+            features = (
+                np.arange(d)
+                if k_feat == d
+                else rng.choice(d, size=k_feat, replace=False)
+            )
+            f, thr, gain = _best_split(X[idx], sub_codes, w[idx], C, features)
+            if f < 0:
+                return leaf(idx)
+            go_left = X[idx, f] <= thr
+            left_idx, right_idx = idx[go_left], idx[~go_left]
+            if left_idx.size == 0 or right_idx.size == 0:
+                return leaf(idx)
+            node_id = len(self._nodes)
+            self._nodes.append(_Node(feature=f, threshold=thr))
+            self._nodes[node_id].left = build(left_idx, depth + 1)
+            self._nodes[node_id].right = build(right_idx, depth + 1)
+            return node_id
+
+        build(np.arange(n), 0)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = check_array(X)
+        n = X.shape[0]
+        out = np.zeros((n, self.classes_.size))
+        # Route all samples level-by-level (vectorized over samples).
+        current = np.zeros(n, dtype=np.int64)
+        active = np.arange(n)
+        while active.size:
+            nodes = current[active]
+            still = []
+            for nid in np.unique(nodes):
+                members = active[nodes == nid]
+                node = self._nodes[nid]
+                if node.is_leaf:
+                    out[members] = node.proba
+                else:
+                    go_left = X[members, node.feature] <= node.threshold
+                    current[members[go_left]] = node.left
+                    current[members[~go_left]] = node.right
+                    still.append(members)
+            active = np.concatenate(still) if still else np.zeros(0, dtype=np.int64)
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+    @property
+    def node_count(self) -> int:
+        self._check_fitted()
+        return len(self._nodes)

@@ -1,0 +1,50 @@
+"""The ten-classifier zoo of Tables 5 and 6."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ml.adaboost import AdaBoostClassifier
+from repro.ml.base import BaseClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gaussian_process import GaussianProcessClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.neural_net import MLPClassifier
+from repro.ml.qda import QuadraticDiscriminantAnalysis
+from repro.ml.svm import LinearSVMClassifier, RBFSVMClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+#: Row order of Tables 5-6.
+CLASSIFIER_NAMES = (
+    "Random Forest",
+    "KNeighbors",
+    "Linear SVM",
+    "RBF SVM",
+    "Gaussian Process",
+    "Decision Tree",
+    "Neural Net",
+    "AdaBoost",
+    "Naive Bayes",
+    "QDA",
+)
+
+
+def make_classifier_zoo(seed: int = 0) -> dict[str, Callable[[], BaseClassifier]]:
+    """Factories for the ten classifiers the paper evaluates.
+
+    Returns factories (not instances) so cross-validation and repeated
+    training get fresh models.
+    """
+    return {
+        "Random Forest": lambda: RandomForestClassifier(n_estimators=50, seed=seed),
+        "KNeighbors": lambda: KNeighborsClassifier(n_neighbors=5),
+        "Linear SVM": lambda: LinearSVMClassifier(C=1.0, seed=seed),
+        "RBF SVM": lambda: RBFSVMClassifier(C=1.0),
+        "Gaussian Process": lambda: GaussianProcessClassifier(),
+        "Decision Tree": lambda: DecisionTreeClassifier(max_depth=12, seed=seed),
+        "Neural Net": lambda: MLPClassifier(seed=seed),
+        "AdaBoost": lambda: AdaBoostClassifier(n_estimators=50, seed=seed),
+        "Naive Bayes": lambda: GaussianNB(),
+        "QDA": lambda: QuadraticDiscriminantAnalysis(),
+    }

@@ -1,0 +1,31 @@
+"""Generic composition auto-tuners.
+
+LiteForm's thesis is that *predicting* a composition beats *searching* for
+one.  This package makes the search side a first-class, reusable citizen so
+the claim can be tested against tuners of any budget:
+
+* :class:`ExhaustiveTuner` — SparseTIR-style full sweep (the Fig. 7 oracle);
+* :class:`RandomSearchTuner` — fixed-budget random sampling;
+* :class:`HillClimbTuner` — greedy neighbourhood descent over (P, W);
+
+all measuring real candidates on the simulated device and accounting the
+same construction-overhead currency as Figures 8-9.
+"""
+
+from repro.tuning.search import (
+    CandidateResult,
+    ExhaustiveTuner,
+    HillClimbTuner,
+    RandomSearchTuner,
+    TuningResult,
+    cell_candidate_space,
+)
+
+__all__ = [
+    "CandidateResult",
+    "TuningResult",
+    "ExhaustiveTuner",
+    "RandomSearchTuner",
+    "HillClimbTuner",
+    "cell_candidate_space",
+]

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats.base import as_csr
+from repro.gpu import SimulatedDevice
+from repro.matrices import (
+    banded_matrix,
+    community_graph,
+    power_law_graph,
+    uniform_random_matrix,
+    with_dense_rows,
+)
+
+
+@pytest.fixture(scope="session")
+def device() -> SimulatedDevice:
+    return SimulatedDevice()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def _tiny_dense():
+    """A small handcrafted matrix exercising empty rows, a long row, and
+    duplicated column patterns."""
+    A = np.zeros((8, 10), dtype=np.float32)
+    A[0, [1, 5]] = [1.0, 2.0]
+    A[2, :9] = np.arange(1, 10)
+    A[3, 3] = 4.0
+    A[5, [0, 3, 7, 9]] = [1, 2, 3, 4]
+    A[7, [2, 4]] = [5, 6]
+    return A
+
+
+@pytest.fixture(scope="session")
+def tiny_matrix() -> sp.csr_matrix:
+    return as_csr(_tiny_dense())
+
+
+@pytest.fixture(scope="session")
+def matrix_suite() -> dict[str, sp.csr_matrix]:
+    """A small, diverse set of matrices used across kernel/format tests."""
+    return {
+        "tiny": as_csr(_tiny_dense()),
+        "power_law": power_law_graph(500, 8, seed=1),
+        "community": community_graph(400, 10, num_communities=8, seed=2),
+        "banded": banded_matrix(300, 4, seed=3),
+        "uniform": uniform_random_matrix(256, 384, 0.02, seed=4),
+        "dense_rows": with_dense_rows(
+            power_law_graph(300, 6, seed=5), num_dense_rows=3, row_density=0.4, seed=6
+        ),
+        "single_col": as_csr(sp.csr_matrix(np.ones((50, 1), dtype=np.float32))),
+    }
+
+
+@pytest.fixture(scope="session")
+def dense_operand() -> np.ndarray:
+    rng = np.random.default_rng(777)
+
+    def make(K: int, J: int = 32) -> np.ndarray:
+        return rng.standard_normal((K, J)).astype(np.float32)
+
+    return make

@@ -1,0 +1,62 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.ascii_plot import bars, scatter
+
+
+class TestScatter:
+    def test_renders_points(self):
+        out = scatter([1, 10, 100], [2, 1, 0.5], title="t", hline=1.0)
+        assert "t" in out
+        assert out.count("o") == 3
+
+    def test_hline_drawn(self):
+        out = scatter([1, 100], [0.5, 2.0], hline=1.0)
+        assert "-" in out
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            scatter([1, 2], [1])
+
+    def test_filters_nonfinite(self):
+        out = scatter([1, 2, np.inf], [1, np.nan, 3])
+        assert out.count("o") == 1
+
+    def test_empty(self):
+        assert "no finite points" in scatter([], [])
+
+    def test_single_point(self):
+        out = scatter([5], [5])
+        assert out.count("o") == 1
+
+    def test_axis_labels(self):
+        out = scatter([1, 10], [1, 10], xlabel="rows", ylabel="speedup")
+        assert "x: rows" in out and "y: speedup" in out
+
+    def test_linear_mode_accepts_nonpositive(self):
+        out = scatter([-1, 0, 1], [-2, 0, 2], logx=False, logy=False)
+        assert out.count("o") == 3
+
+
+class TestBars:
+    def test_basic(self):
+        out = bars(["a", "bb"], [1.0, 2.0], title="demo")
+        assert "demo" in out and "a" in out and "#" in out
+
+    def test_oom_rendered(self):
+        out = bars(["x"], [float("inf")])
+        assert "OOM" in out
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            bars(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "no data" in bars([], [])
+
+    def test_longest_bar_is_max(self):
+        out = bars(["small", "big"], [1.0, 4.0])
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert lines[1].count("#") > lines[0].count("#")

@@ -1,0 +1,72 @@
+"""Tests for the Seer-style automatic format-selection baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.autoselect import CANDIDATES, AutoSelectBaseline
+from repro.kernels import spmm_reference
+from repro.matrices import (
+    SuiteSparseLikeCollection,
+    block_diagonal_matrix,
+    power_law_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted(device):
+    coll = SuiteSparseLikeCollection(size=12, max_rows=4000, seed=71)
+    entries = list(coll) + [
+        ("bd0", block_diagonal_matrix(2048, 8, 1.0, seed=1)),
+        ("bd1", block_diagonal_matrix(3072, 8, 1.0, seed=2)),
+    ]
+    return AutoSelectBaseline().fit(entries, device, J_values=(32,))
+
+
+class TestAutoSelect:
+    def test_candidate_keys_unique(self):
+        keys = [c.key for c in CANDIDATES]
+        assert len(set(keys)) == len(keys) == 4
+
+    def test_prepare_before_fit(self, device):
+        with pytest.raises(RuntimeError):
+            AutoSelectBaseline().prepare(power_law_graph(100, 4, seed=0), 32, device)
+
+    def test_selected_key_is_valid(self, fitted, device):
+        prep = fitted.prepare(power_law_graph(800, 8, seed=3), 32, device)
+        assert prep.config["selected"] in {c.key for c in CANDIDATES}
+
+    def test_execute_correct(self, fitted, device):
+        A = power_law_graph(600, 7, seed=4)
+        B = np.random.default_rng(0).standard_normal((A.shape[1], 16)).astype(np.float32)
+        prep = fitted.prepare(A, 16, device)
+        C, m = fitted.execute(prep, B, device)
+        np.testing.assert_allclose(C, spmm_reference(A, B), rtol=1e-3, atol=1e-3)
+
+    def test_selection_beats_worst_fixed_choice(self, fitted, device):
+        """The category's raison d'être: picking per input beats committing
+        to the single worst format."""
+        from repro.bench import geomean
+
+        rng_seeds = [11, 12, 13, 14]
+        sel_t, worst_t = [], []
+        for s in rng_seeds:
+            A = power_law_graph(2500, 10, seed=s)
+            prep = fitted.prepare(A, 64, device)
+            sel_t.append(fitted.measure(prep, 64, device).time_s)
+            times = []
+            for cand in CANDIDATES:
+                try:
+                    times.append(cand.kernel().measure(cand.build(A), 64, device).time_s)
+                except Exception:
+                    times.append(float("inf"))
+            finite = [t for t in times if np.isfinite(t)]
+            worst_t.append(max(finite))
+        assert geomean(sel_t) < geomean(worst_t)
+
+    def test_low_construction_overhead(self, fitted, device):
+        prep = fitted.prepare(power_law_graph(2000, 8, seed=5), 32, device)
+        assert prep.construction_overhead_s < 1.0  # Table 1: overhead "low"
+
+    def test_training_with_no_matrices_rejected(self, device):
+        with pytest.raises(ValueError):
+            AutoSelectBaseline().fit([], device)

@@ -1,0 +1,51 @@
+"""Additional CLI coverage (compare subcommand, argument handling)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main as cli_main
+from repro.core import LiteForm, generate_training_data
+from repro.core.persistence import save_liteform
+from repro.matrices import SuiteSparseLikeCollection, power_law_graph, write_matrix_market
+
+
+@pytest.fixture(scope="module")
+def models_path(tmp_path_factory):
+    coll = SuiteSparseLikeCollection(size=6, max_rows=2500, seed=99)
+    lf = LiteForm().fit(generate_training_data(coll, J_values=(32,)))
+    path = tmp_path_factory.mktemp("models") / "m.pkl"
+    save_liteform(lf, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+    def test_compose_defaults(self):
+        args = build_parser().parse_args(["compose", "gnn:cora"])
+        assert args.J == 128 and not args.json
+
+
+class TestCompare:
+    def test_compare_prints_all_systems(self, capsys, models_path, tmp_path):
+        A = power_law_graph(400, 5, seed=1)
+        mtx = tmp_path / "a.mtx"
+        write_matrix_market(A, mtx)
+        assert cli_main(["compare", str(mtx), "--models", str(models_path), "-J", "32"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cusparse", "sputnik", "sparsetir", "stile", "liteform"):
+            assert name in out
+        assert "vs_cusparse" in out
+
+
+class TestComposeFallback:
+    def test_adhoc_training_when_no_models(self, capsys):
+        # small --train-size keeps this quick; exercises the training path
+        assert cli_main(["compose", "gnn:citeseer", "--train-size", "4", "-J", "32"]) == 0
+        assert "use_cell" in capsys.readouterr().out

@@ -1,0 +1,168 @@
+"""End-to-end tests for the LiteForm pipeline and its predictors."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LiteForm,
+    FormatSelector,
+    PartitionPredictor,
+    generate_training_data,
+)
+from repro.core.partition_model import PARTITION_CANDIDATES
+from repro.kernels import spmm_reference
+from repro.matrices import (
+    SuiteSparseLikeCollection,
+    block_diagonal_matrix,
+    format_selection_features,
+    partition_features,
+    power_law_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    coll = SuiteSparseLikeCollection(size=14, max_rows=5000, seed=11)
+    data = generate_training_data(coll, J_values=(32, 128))
+    return LiteForm().fit(data), data
+
+
+class TestFormatSelector:
+    def test_learns_training_labels(self, trained):
+        lf, data = trained
+        preds = lf.selector.predict_features(data.format_X)
+        # Random forest memorizes most of its own training set
+        assert (preds == data.format_y).mean() > 0.8
+
+    def test_constant_labels_handled(self):
+        sel = FormatSelector()
+        X = np.random.default_rng(0).normal(size=(5, 7))
+        sel.fit(X, np.ones(5, dtype=bool))
+        assert sel.predict_features(X).all()
+
+    def test_inference_is_timed(self, trained):
+        lf, _ = trained
+        lf.selector.predict(power_law_graph(200, 5, seed=0))
+        assert lf.selector.last_inference_s > 0
+
+
+class TestPartitionPredictor:
+    def test_prediction_in_candidates(self, trained):
+        lf, _ = trained
+        p = lf.partition_model.predict(power_law_graph(300, 6, seed=1), J=64)
+        assert p in PARTITION_CANDIDATES
+
+    def test_rejects_foreign_labels(self):
+        pm = PartitionPredictor()
+        X = np.random.default_rng(0).normal(size=(4, 8))
+        with pytest.raises(ValueError):
+            pm.fit(X, np.array([1, 3, 1, 3]))
+
+    def test_clamped_to_columns(self):
+        pm = PartitionPredictor()
+        X = np.random.default_rng(0).normal(size=(4, 8))
+        pm.fit(X, np.array([32, 32, 1, 32]))
+        import scipy.sparse as sp
+        from repro.formats.base import as_csr
+
+        narrow = as_csr(sp.random(50, 4, density=0.5, random_state=0, dtype=np.float32))
+        assert pm.predict(narrow, J=32) <= 4
+
+
+class TestLiteFormPipeline:
+    def test_compose_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LiteForm().compose(power_law_graph(100, 4, seed=0), 32)
+
+    def test_force_cell_without_fit(self):
+        lf = LiteForm()
+        plan = lf.compose(power_law_graph(100, 4, seed=0), 32, force_cell=True)
+        assert plan.use_cell
+        assert plan.num_partitions == 1
+
+    def test_plan_fields(self, trained):
+        lf, _ = trained
+        A = power_law_graph(500, 8, seed=2)
+        plan = lf.compose(A, 64)
+        assert plan.overhead.total_s > 0
+        if plan.use_cell:
+            assert len(plan.max_widths) == plan.num_partitions
+            assert plan.predicted_cost and plan.predicted_cost > 0
+
+    def test_run_correctness(self, trained, dense_operand):
+        lf, _ = trained
+        A = power_law_graph(400, 7, seed=3)
+        plan = lf.compose(A, 16)
+        B = dense_operand(A.shape[1], 16)
+        C, m = lf.run(plan, B)
+        np.testing.assert_allclose(C, spmm_reference(A, B), rtol=1e-4, atol=1e-4)
+        assert m.time_s > 0
+
+    def test_fixed_fallback_correctness(self, trained, dense_operand):
+        lf, _ = trained
+        A = block_diagonal_matrix(256, 8, 1.0, seed=5)
+        plan = lf.compose(A, 16, force_cell=False)
+        assert not plan.use_cell
+        B = dense_operand(A.shape[1], 16)
+        C, _ = lf.run(plan, B)
+        np.testing.assert_allclose(C, spmm_reference(A, B), rtol=1e-4, atol=1e-4)
+
+    def test_fixed_fallback_picks_bcsr_for_dense_blocks(self, trained):
+        lf, _ = trained
+        A = block_diagonal_matrix(256, 8, 1.0, seed=5)
+        plan = lf.compose(A, 16, force_cell=False)
+        from repro.formats import BCSRFormat
+
+        assert isinstance(plan.fmt, BCSRFormat)
+
+    def test_fixed_fallback_picks_csr_for_scattered(self, trained):
+        lf, _ = trained
+        A = power_law_graph(500, 4, seed=6)
+        plan = lf.compose(A, 16, force_cell=False)
+        from repro.formats import CSRFormat
+
+        assert isinstance(plan.fmt, CSRFormat)
+
+    def test_invalid_J(self, trained):
+        lf, _ = trained
+        with pytest.raises(ValueError):
+            lf.compose(power_law_graph(100, 4, seed=0), 0)
+
+    def test_overhead_breakdown_sums(self, trained):
+        lf, _ = trained
+        plan = lf.compose(power_law_graph(300, 6, seed=7), 32)
+        o = plan.overhead
+        assert o.total_s == pytest.approx(
+            o.selection_s + o.partition_s + o.search_s + o.build_s
+        )
+
+    def test_compose_is_fast(self, trained):
+        """The headline property: composition takes milliseconds, no kernel
+        trials (Figures 8-9)."""
+        lf, _ = trained
+        A = power_law_graph(5000, 10, seed=8)
+        plan = lf.compose(A, 128)
+        assert plan.overhead.total_s < 2.0
+
+
+class TestFeatureExtractors:
+    def test_table2_features(self, matrix_suite):
+        A = matrix_suite["power_law"]
+        f = format_selection_features(A)
+        lengths = np.diff(A.indptr)
+        assert f.shape == (7,)
+        assert f[0] == A.shape[0] and f[1] == A.shape[1] and f[2] == A.nnz
+        assert f[3] == pytest.approx(lengths.mean())
+        assert f[5] == lengths.max()
+
+    def test_table3_features(self, matrix_suite):
+        A = matrix_suite["community"]
+        f = partition_features(A, J=128)
+        assert f.shape == (8,)
+        assert f[7] == A.shape[1] * 128
+        # densities, not raw counts
+        assert f[3] == pytest.approx(np.diff(A.indptr).mean() / A.shape[1])
+
+    def test_invalid_J(self, matrix_suite):
+        with pytest.raises(ValueError):
+            partition_features(matrix_suite["tiny"], J=0)

@@ -1,0 +1,65 @@
+"""Additional training/label coverage: OOM handling, label stability."""
+
+import numpy as np
+import pytest
+
+from repro.core import generate_training_data
+from repro.core.selector import CELL_ADVANTAGE_THRESHOLD
+from repro.gpu import SimulatedDevice
+from repro.gpu.device import V100
+from repro.matrices import block_diagonal_matrix, power_law_graph, with_dense_rows
+
+
+class TestLabelSemantics:
+    def test_threshold_constant(self):
+        assert CELL_ADVANTAGE_THRESHOLD == pytest.approx(1.1)
+
+    def test_block_diagonal_labelled_false(self):
+        """A perfectly blockwise matrix is the fixed-format home turf: the
+        8x8-dense BCSR representation should beat CELL's bucketing, so the
+        selection label must be FALSE."""
+        A = block_diagonal_matrix(4096, block_size=8, block_density=1.0, seed=1)
+        data = generate_training_data([("bd", A)], J_values=(32, 128))
+        assert not data.format_samples[0].label
+
+    def test_skewed_graph_labelled_true(self):
+        """Hub-heavy graphs are CELL's home turf (Section 2.1 pathology)."""
+        A = with_dense_rows(power_law_graph(6000, 8, seed=2), 3, 0.3, seed=3)
+        data = generate_training_data([("pl", A)], J_values=(32, 128))
+        assert data.format_samples[0].label
+
+    def test_bcsr_oom_counts_as_infinite_fixed_time(self):
+        """When BCSR conversion blows past device memory, the fixed-format
+        side falls back to CSR's time rather than crashing."""
+        A = power_law_graph(3000, 6, seed=4)
+        tiny = SimulatedDevice(spec=V100.with_overrides(dram_bytes=2 * 10**6))
+        # must not raise; BCSR measurement OOMs internally
+        data = generate_training_data([("m", A)], device=tiny, J_values=(32,))
+        assert len(data.format_samples) == 1
+
+    def test_skips_empty_matrices(self):
+        import scipy.sparse as sp
+
+        from repro.formats.base import as_csr
+
+        empty = as_csr(sp.csr_matrix((10, 10), dtype=np.float32))
+        data = generate_training_data([("e", empty)], J_values=(32,))
+        assert len(data.format_samples) == 0
+
+    def test_partition_candidates_clamped_to_columns(self):
+        import scipy.sparse as sp
+
+        from repro.formats.base import as_csr
+
+        narrow = as_csr(sp.random(3000, 8, density=0.2, random_state=0, dtype=np.float32))
+        data = generate_training_data([("n", narrow)], J_values=(32,))
+        assert max(data.partition_samples[0].times_by_partition) <= 8
+
+    def test_times_positive_and_finite_for_normal_inputs(self):
+        A = power_law_graph(1500, 8, seed=5)
+        data = generate_training_data([("m", A)], J_values=(32, 128))
+        for s in data.partition_samples:
+            finite = [t for t in s.times_by_partition.values() if np.isfinite(t)]
+            assert finite and all(t > 0 for t in finite)
+        fs = data.format_samples[0]
+        assert fs.cell_time_s > 0 and fs.fixed_time_s > 0

@@ -1,0 +1,137 @@
+"""Edge-case coverage: degenerate matrices through the full stack."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import CELLFormat, CSRFormat, ELLFormat
+from repro.formats.base import as_csr
+from repro.gpu import SimulatedDevice
+from repro.kernels import CELLSpMM, RowSplitCSRSpMM, SputnikSpMM, spmm_reference
+from repro.core import matrix_cost_profiles, build_buckets
+
+
+def _empty(rows=6, cols=9):
+    return as_csr(sp.csr_matrix((rows, cols), dtype=np.float32))
+
+
+def _single_entry():
+    return as_csr(sp.csr_matrix(([3.0], ([2], [4])), shape=(5, 8), dtype=np.float32))
+
+
+class TestEmptyMatrix:
+    def test_formats(self):
+        A = _empty()
+        for cls, kw in [(CSRFormat, {}), (ELLFormat, {}), (CELLFormat, {"num_partitions": 2})]:
+            f = cls.from_csr(A, **kw)
+            assert f.nnz == 0
+            assert f.to_csr().nnz == 0
+
+    def test_kernels_produce_zero(self, device):
+        A = _empty()
+        B = np.ones((9, 4), dtype=np.float32)
+        for kernel, fmt in [
+            (RowSplitCSRSpMM(), CSRFormat.from_csr(A)),
+            (CELLSpMM(), CELLFormat.from_csr(A)),
+        ]:
+            C, m = kernel.run(fmt, B, device)
+            assert np.all(C == 0.0)
+            assert m.time_s >= 0
+
+    def test_cost_profile(self):
+        profiles = matrix_cost_profiles(_empty(), 2)
+        for p in profiles:
+            assert p.cost(3, 32) == 0.0
+            assert build_buckets(p, 32).cost == 0.0
+
+
+class TestSingleEntry:
+    def test_roundtrip_and_execute(self, device):
+        A = _single_entry()
+        B = np.arange(8 * 3, dtype=np.float32).reshape(8, 3)
+        ref = spmm_reference(A, B)
+        for kernel, fmt in [
+            (RowSplitCSRSpMM(), CSRFormat.from_csr(A)),
+            (SputnikSpMM(), CSRFormat.from_csr(A)),
+            (CELLSpMM(), CELLFormat.from_csr(A)),
+        ]:
+            np.testing.assert_allclose(kernel.execute(fmt, B), ref)
+
+    def test_cell_structure(self):
+        f = CELLFormat.from_csr(_single_entry())
+        buckets = list(f.iter_buckets())
+        assert len(buckets) == 1
+        _, b = buckets[0]
+        assert b.width == 1 and b.num_rows == 1 and b.nnz == 1
+
+
+class TestExtremeShapes:
+    def test_single_column_matrix(self, device):
+        A = as_csr(np.ones((40, 1), dtype=np.float32))
+        B = np.full((1, 5), 2.0, dtype=np.float32)
+        f = CELLFormat.from_csr(A, num_partitions=1)
+        np.testing.assert_allclose(CELLSpMM().execute(f, B), spmm_reference(A, B))
+        # partitions cannot exceed columns
+        with pytest.raises(ValueError):
+            CELLFormat.from_csr(A, num_partitions=2)
+
+    def test_single_row_matrix(self, device):
+        A = as_csr(np.ones((1, 64), dtype=np.float32))
+        B = np.random.default_rng(0).standard_normal((64, 8)).astype(np.float32)
+        for P, W in [(1, None), (4, 8)]:
+            f = CELLFormat.from_csr(A, num_partitions=P, max_widths=W)
+            np.testing.assert_allclose(
+                CELLSpMM().execute(f, B), spmm_reference(A, B), rtol=1e-4, atol=1e-5
+            )
+
+    def test_fully_dense_matrix(self, device):
+        rng = np.random.default_rng(1)
+        A = as_csr(rng.standard_normal((32, 32)).astype(np.float32))
+        B = rng.standard_normal((32, 4)).astype(np.float32)
+        f = CELLFormat.from_csr(A, num_partitions=2)
+        np.testing.assert_allclose(
+            CELLSpMM().execute(f, B), spmm_reference(A, B), rtol=1e-3, atol=1e-3
+        )
+        assert f.padding_ratio < 0.01  # dense rows fill their buckets exactly
+
+    def test_J_one_spmv(self, device):
+        """SpMV is the J=1 corner of SpMM."""
+        from repro.matrices import power_law_graph
+
+        A = power_law_graph(300, 6, seed=1)
+        x = np.random.default_rng(2).standard_normal((A.shape[1], 1)).astype(np.float32)
+        f = CELLFormat.from_csr(A)
+        np.testing.assert_allclose(
+            CELLSpMM().execute(f, x), spmm_reference(A, x), rtol=1e-4, atol=1e-4
+        )
+        m = CELLSpMM().measure(f, 1, device)
+        assert m.time_s > 0
+
+    def test_rectangular_wide(self, device):
+        A = as_csr(sp.random(50, 4000, density=0.01, random_state=3, dtype=np.float32))
+        B = np.random.default_rng(4).standard_normal((4000, 4)).astype(np.float32)
+        f = CELLFormat.from_csr(A, num_partitions=8)
+        np.testing.assert_allclose(
+            CELLSpMM().execute(f, B), spmm_reference(A, B), rtol=1e-3, atol=1e-3
+        )
+
+    def test_rectangular_tall(self, device):
+        A = as_csr(sp.random(4000, 50, density=0.01, random_state=5, dtype=np.float32))
+        B = np.random.default_rng(6).standard_normal((50, 4)).astype(np.float32)
+        f = CELLFormat.from_csr(A, num_partitions=4)
+        np.testing.assert_allclose(
+            CELLSpMM().execute(f, B), spmm_reference(A, B), rtol=1e-3, atol=1e-3
+        )
+
+
+class TestNumericRobustness:
+    def test_large_values(self):
+        A = as_csr(sp.csr_matrix(([1e20, -1e20], ([0, 1], [0, 1])), shape=(2, 2)))
+        B = np.eye(2, dtype=np.float32)
+        C = CELLSpMM().execute(CELLFormat.from_csr(A), B)
+        assert np.isfinite(C).all()
+
+    def test_negative_values_roundtrip(self):
+        A = as_csr(sp.csr_matrix(([-1.5, 2.5], ([0, 1], [1, 0])), shape=(2, 2)))
+        f = CELLFormat.from_csr(A)
+        assert abs(f.to_csr() - A).max() == 0

@@ -1,0 +1,97 @@
+"""Tests for repro.formats.base helpers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats.base import (
+    as_csr,
+    ceil_pow2,
+    ceil_pow2_exponent,
+    padding_ratio,
+)
+
+
+class TestCeilPow2:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (7, 8), (8, 8), (9, 16), (1000, 1024)],
+    )
+    def test_scalar(self, n, expected):
+        assert ceil_pow2(n) == expected
+
+    def test_vectorized_matches_scalar(self):
+        ns = np.arange(1, 200)
+        out = ceil_pow2(ns)
+        assert list(out) == [ceil_pow2(int(n)) for n in ns]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ceil_pow2(0)
+        with pytest.raises(ValueError):
+            ceil_pow2(np.array([1, 0]))
+
+    def test_exact_powers_are_fixed_points(self):
+        for e in range(20):
+            assert ceil_pow2(1 << e) == 1 << e
+
+
+class TestCeilPow2Exponent:
+    @pytest.mark.parametrize("n,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4)])
+    def test_scalar(self, n, expected):
+        assert ceil_pow2_exponent(n) == expected
+
+    def test_consistent_with_ceil_pow2(self):
+        for n in range(1, 300):
+            assert 1 << ceil_pow2_exponent(n) == ceil_pow2(n)
+
+    def test_bucket_membership_rule(self):
+        # A row of length l belongs to bucket i with 2^(i-1) < l <= 2^i.
+        for l in range(1, 500):
+            i = ceil_pow2_exponent(l)
+            assert l <= (1 << i)
+            if i > 0:
+                assert l > (1 << (i - 1))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ceil_pow2_exponent(0)
+
+
+class TestPaddingRatio:
+    def test_no_padding(self):
+        assert padding_ratio(100, 100) == 0.0
+
+    def test_half_padding(self):
+        assert padding_ratio(200, 100) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert padding_ratio(0, 0) == 0.0
+
+
+class TestAsCsr:
+    def test_sums_duplicates(self):
+        A = sp.coo_matrix(
+            (np.array([1.0, 2.0]), (np.array([0, 0]), np.array([1, 1]))), shape=(2, 3)
+        )
+        out = as_csr(A)
+        assert out.nnz == 1
+        assert out[0, 1] == pytest.approx(3.0)
+
+    def test_drops_explicit_zeros(self):
+        A = sp.csr_matrix(
+            (np.array([0.0, 1.0], dtype=np.float32), np.array([0, 1]), np.array([0, 2, 2])),
+            shape=(2, 2),
+        )
+        out = as_csr(A)
+        assert out.nnz == 1
+
+    def test_accepts_dense(self):
+        D = np.eye(3, dtype=np.float32)
+        out = as_csr(D)
+        assert out.nnz == 3
+        assert out.dtype == np.float32
+
+    def test_sorted_indices(self, matrix_suite):
+        for A in matrix_suite.values():
+            assert A.has_sorted_indices

@@ -1,0 +1,75 @@
+"""Tests for BCSR and Blocked-ELL formats."""
+
+import numpy as np
+import pytest
+
+from repro.formats import BCSRFormat, BlockedELLFormat
+from repro.formats.base import as_csr
+from repro.matrices import block_diagonal_matrix, power_law_graph
+
+
+def roundtrip_equal(fmt, A):
+    diff = fmt.to_csr() - A
+    return diff.nnz == 0 or abs(diff).max() < 1e-6
+
+
+class TestBCSR:
+    @pytest.mark.parametrize("block", [(2, 2), (4, 4), (8, 8), (3, 5)])
+    def test_roundtrip(self, matrix_suite, block):
+        for name, A in matrix_suite.items():
+            f = BCSRFormat.from_csr(A, block_shape=block)
+            assert roundtrip_equal(f, A), (name, block)
+
+    def test_non_divisible_dimensions(self):
+        A = as_csr(np.ones((7, 11), dtype=np.float32))
+        f = BCSRFormat.from_csr(A, block_shape=(4, 4))
+        assert roundtrip_equal(f, A)
+        assert f.shape == (7, 11)
+
+    def test_dense_blocks_have_no_padding(self):
+        A = block_diagonal_matrix(64, block_size=8, block_density=1.0, seed=0)
+        f = BCSRFormat.from_csr(A, block_shape=(8, 8))
+        # fully dense aligned blocks: padding only from block alignment
+        assert f.padding_ratio < 0.05
+
+    def test_sparse_matrix_has_high_padding(self):
+        A = power_law_graph(600, 4, seed=1)
+        f = BCSRFormat.from_csr(A, block_shape=(8, 8))
+        # Section 2.1: padding ratio approaches 99% on sparse irregular input
+        assert f.padding_ratio > 0.9
+
+    def test_footprint_blowup_on_sparse_input(self):
+        A = power_law_graph(600, 4, seed=1)
+        csr_bytes = 2 * 4 * A.nnz
+        f = BCSRFormat.from_csr(A, block_shape=(8, 8))
+        assert f.footprint_bytes > 5 * csr_bytes
+
+    def test_invalid_block_shape(self, tiny_matrix):
+        with pytest.raises(ValueError):
+            BCSRFormat.from_csr(tiny_matrix, block_shape=(0, 4))
+
+    def test_num_blocks_counts_nonzero_tiles(self):
+        A = as_csr(np.diag(np.ones(8, dtype=np.float32)))
+        f = BCSRFormat.from_csr(A, block_shape=(4, 4))
+        assert f.num_blocks == 2
+
+
+class TestBlockedELL:
+    @pytest.mark.parametrize("block", [(4, 4), (16, 16)])
+    def test_roundtrip(self, matrix_suite, block):
+        for name, A in matrix_suite.items():
+            f = BlockedELLFormat.from_csr(A, block_shape=block)
+            assert roundtrip_equal(f, A), (name, block)
+
+    def test_uniform_tile_rows(self, matrix_suite):
+        f = BlockedELLFormat.from_csr(matrix_suite["power_law"], block_shape=(8, 8))
+        # every block-row stores the same number of tiles (the ELL property)
+        assert f.block_cols.ndim == 2
+
+    def test_padding_at_least_bcsr(self, matrix_suite):
+        # Blocked-ELL pads both within tiles and across the tile row, so it
+        # never stores fewer padded elements than BCSR at equal tile size.
+        A = matrix_suite["power_law"]
+        bell = BlockedELLFormat.from_csr(A, block_shape=(8, 8))
+        bcsr = BCSRFormat.from_csr(A, block_shape=(8, 8))
+        assert bell.footprint_bytes >= bcsr.blocks.nbytes

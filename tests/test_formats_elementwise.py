@@ -1,0 +1,133 @@
+"""Tests for COO, CSR, ELL, and Sliced-ELL formats."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import COOFormat, CSRFormat, ELLFormat, SlicedELLFormat
+from repro.formats.ell import PAD, pack_rows_ell
+
+
+def roundtrip_equal(fmt, A):
+    diff = (fmt.to_csr() - A)
+    return diff.nnz == 0 or abs(diff).max() < 1e-6
+
+
+class TestCOO:
+    def test_roundtrip(self, matrix_suite):
+        for name, A in matrix_suite.items():
+            f = COOFormat.from_csr(A)
+            assert roundtrip_equal(f, A), name
+
+    def test_nnz_and_stored(self, tiny_matrix):
+        f = COOFormat.from_csr(tiny_matrix)
+        assert f.nnz == tiny_matrix.nnz
+        assert f.stored_elements == tiny_matrix.nnz
+        assert f.padding_ratio == 0.0
+
+    def test_footprint(self, tiny_matrix):
+        f = COOFormat.from_csr(tiny_matrix)
+        assert f.footprint_bytes == 3 * 4 * tiny_matrix.nnz
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            COOFormat((2, 2), np.array([0]), np.array([0, 1]), np.array([1.0]))
+
+
+class TestCSR:
+    def test_roundtrip(self, matrix_suite):
+        for name, A in matrix_suite.items():
+            f = CSRFormat.from_csr(A)
+            assert roundtrip_equal(f, A), name
+
+    def test_row_lengths(self, tiny_matrix):
+        f = CSRFormat.from_csr(tiny_matrix)
+        assert list(f.row_lengths) == list(np.diff(tiny_matrix.indptr))
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRFormat((3, 3), np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_footprint_matches_arrays(self, tiny_matrix):
+        f = CSRFormat.from_csr(tiny_matrix)
+        expected = (tiny_matrix.shape[0] + 1 + 2 * tiny_matrix.nnz) * 4
+        assert f.footprint_bytes == expected
+
+
+class TestPackRowsEll:
+    def test_left_packing(self, tiny_matrix):
+        col, val = pack_rows_ell(tiny_matrix, width=9)
+        lengths = np.diff(tiny_matrix.indptr)
+        for r in range(tiny_matrix.shape[0]):
+            n = lengths[r]
+            assert np.all(col[r, :n] != PAD)
+            assert np.all(col[r, n:] == PAD)
+            assert np.all(val[r, n:] == 0.0)
+
+    def test_rejects_too_narrow(self, tiny_matrix):
+        with pytest.raises(ValueError):
+            pack_rows_ell(tiny_matrix, width=2)
+
+    def test_row_subset(self, tiny_matrix):
+        col, val = pack_rows_ell(tiny_matrix, width=9, rows=np.array([2, 5]))
+        assert col.shape == (2, 9)
+        # row 2 of the tiny matrix has 9 entries, row 5 has 4
+        assert int((col[0] != PAD).sum()) == 9
+        assert int((col[1] != PAD).sum()) == 4
+
+
+class TestELL:
+    def test_roundtrip(self, matrix_suite):
+        for name, A in matrix_suite.items():
+            f = ELLFormat.from_csr(A)
+            assert roundtrip_equal(f, A), name
+
+    def test_width_is_max_row_length(self, tiny_matrix):
+        f = ELLFormat.from_csr(tiny_matrix)
+        assert f.width == int(np.diff(tiny_matrix.indptr).max())
+
+    def test_padding_grows_with_skew(self):
+        uniform = sp.random(100, 100, density=0.05, random_state=0, format="csr")
+        from repro.formats.base import as_csr
+
+        uniform = as_csr(uniform)
+        skewed = uniform.tolil()
+        skewed[0, :] = 1.0
+        skewed = as_csr(skewed.tocsr())
+        assert (
+            ELLFormat.from_csr(skewed).padding_ratio
+            > ELLFormat.from_csr(uniform).padding_ratio
+        )
+
+    def test_stored_elements(self, tiny_matrix):
+        f = ELLFormat.from_csr(tiny_matrix)
+        assert f.stored_elements == tiny_matrix.shape[0] * f.width
+
+
+class TestSlicedELL:
+    def test_roundtrip(self, matrix_suite):
+        for name, A in matrix_suite.items():
+            f = SlicedELLFormat.from_csr(A, slice_height=16)
+            assert roundtrip_equal(f, A), name
+
+    def test_slice_widths_are_local(self, tiny_matrix):
+        f = SlicedELLFormat.from_csr(tiny_matrix, slice_height=4)
+        widths = [s.width for s in f.slices]
+        # first slice holds the 9-long row; second slice's max is 4
+        assert widths[0] == 9
+        assert widths[1] == 4
+
+    def test_less_padding_than_ell_on_skew(self, matrix_suite):
+        A = matrix_suite["dense_rows"]
+        assert (
+            SlicedELLFormat.from_csr(A, slice_height=32).padding_ratio
+            <= ELLFormat.from_csr(A).padding_ratio
+        )
+
+    def test_invalid_slice_height(self, tiny_matrix):
+        with pytest.raises(ValueError):
+            SlicedELLFormat.from_csr(tiny_matrix, slice_height=0)
+
+    def test_slice_count(self, tiny_matrix):
+        f = SlicedELLFormat.from_csr(tiny_matrix, slice_height=3)
+        assert len(f.slices) == -(-tiny_matrix.shape[0] // 3)

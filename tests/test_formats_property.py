@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) on format round-trips and invariants."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.formats import (
+    BCSRFormat,
+    BlockedELLFormat,
+    CELLFormat,
+    COOFormat,
+    CSRFormat,
+    ELLFormat,
+    SlicedELLFormat,
+)
+from repro.formats.base import as_csr, ceil_pow2, ceil_pow2_exponent
+
+
+@st.composite
+def sparse_matrices(draw, max_rows=40, max_cols=40):
+    """Random small sparse matrices, including empty and single-row cases."""
+    rows = draw(st.integers(1, max_rows))
+    cols = draw(st.integers(1, max_cols))
+    nnz = draw(st.integers(0, rows * cols // 2))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    r = rng.integers(0, rows, size=nnz)
+    c = rng.integers(0, cols, size=nnz)
+    v = rng.standard_normal(nnz).astype(np.float32)
+    v[v == 0] = 1.0
+    return as_csr(sp.csr_matrix((v, (r, c)), shape=(rows, cols)))
+
+
+ALL_FORMATS = [
+    (COOFormat, {}),
+    (CSRFormat, {}),
+    (ELLFormat, {}),
+    (SlicedELLFormat, {"slice_height": 8}),
+    (BCSRFormat, {"block_shape": (4, 4)}),
+    (BlockedELLFormat, {"block_shape": (4, 4)}),
+    (CELLFormat, {"num_partitions": 1}),
+    (CELLFormat, {"num_partitions": 1, "max_widths": 4}),
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(A=sparse_matrices())
+def test_all_formats_roundtrip(A):
+    for cls, kwargs in ALL_FORMATS:
+        f = cls.from_csr(A, **kwargs)
+        diff = f.to_csr() - A
+        assert diff.nnz == 0 or abs(diff).max() < 1e-5, cls.__name__
+
+
+@settings(max_examples=40, deadline=None)
+@given(A=sparse_matrices())
+def test_cell_multi_partition_roundtrip(A):
+    for P in (2, 3):
+        if P > A.shape[1]:
+            continue
+        f = CELLFormat.from_csr(A, num_partitions=P)
+        diff = f.to_csr() - A
+        assert diff.nnz == 0 or abs(diff).max() < 1e-5
+
+
+@settings(max_examples=40, deadline=None)
+@given(A=sparse_matrices())
+def test_nnz_invariant(A):
+    for cls, kwargs in ALL_FORMATS:
+        f = cls.from_csr(A, **kwargs)
+        assert f.nnz == A.nnz, cls.__name__
+
+
+@settings(max_examples=40, deadline=None)
+@given(A=sparse_matrices())
+def test_stored_at_least_nnz_and_padding_bounds(A):
+    for cls, kwargs in ALL_FORMATS:
+        f = cls.from_csr(A, **kwargs)
+        assert f.stored_elements >= f.nnz, cls.__name__
+        assert 0.0 <= f.padding_ratio <= 1.0, cls.__name__
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(1, 10**9))
+def test_ceil_pow2_properties(n):
+    p = ceil_pow2(n)
+    assert p >= n
+    assert p & (p - 1) == 0  # power of two
+    assert p < 2 * n or n == p  # tight: p/2 < n
+    assert 1 << ceil_pow2_exponent(n) == p
+
+
+@settings(max_examples=30, deadline=None)
+@given(A=sparse_matrices(), cap_exp=st.integers(0, 6))
+def test_cell_fold_bucket_row_budget(A, cap_exp):
+    """Folded bucket rows = sum of ceil(l / W) over rows longer than W."""
+    W = 1 << cap_exp
+    f = CELLFormat.from_csr(A, num_partitions=1, max_widths=W)
+    lengths = np.diff(A.indptr)
+    expected = int(sum(-(-int(l) // W) for l in lengths if l > 0))
+    total_rows = sum(b.num_rows for _, b in f.iter_buckets())
+    assert total_rows == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(A=sparse_matrices())
+def test_cell_footprint_monotone_in_padding(A):
+    """Footprint grows monotonically as the format stores more slots."""
+    f_natural = CELLFormat.from_csr(A, num_partitions=1)
+    f_capped = CELLFormat.from_csr(A, num_partitions=1, max_widths=2)
+    for f in (f_natural, f_capped):
+        assert f.footprint_bytes >= 3 * f.nnz  # rowInd + col + val lower bound

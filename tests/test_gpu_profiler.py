@@ -1,0 +1,60 @@
+"""Tests for the kernel profiler."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CELLFormat, CSRFormat
+from repro.gpu.profiler import profile
+from repro.kernels import CELLSpMM, RowSplitCSRSpMM
+from repro.matrices import power_law_graph
+
+
+@pytest.fixture(scope="module")
+def measurement(device):
+    A = power_law_graph(3000, 10, seed=1)
+    return RowSplitCSRSpMM().measure(CSRFormat.from_csr(A), 128, device)
+
+
+class TestProfiler:
+    def test_spmm_is_memory_bound(self, measurement):
+        p = profile(measurement)
+        assert p.bound == "memory"
+        assert p.arithmetic_intensity < 10  # SpMM lives left of the ridge
+
+    def test_fractions_bounded(self, measurement):
+        p = profile(measurement)
+        assert 0 <= p.bandwidth_fraction <= 1.5
+        assert 0 <= p.compute_fraction <= 1.0
+        assert 0 <= p.launch_fraction <= 1.0
+
+    def test_render_mentions_key_metrics(self, measurement):
+        text = profile(measurement).render()
+        assert "bound" in text and "GB/s" in text and "GFLOP/s" in text
+
+    def test_launch_bound_detection(self, device):
+        """A tiny kernel spends most of its time in launch overhead."""
+        A = power_law_graph(40, 2, seed=2)
+        m = CELLSpMM().measure(CELLFormat.from_csr(A), 1, device)
+        p = profile(m)
+        assert p.bound == "launch"
+
+    def test_invalid_measurement(self, measurement):
+        import dataclasses
+
+        broken = dataclasses.replace(measurement, time_s=0.0) if dataclasses.is_dataclass(measurement) else None
+        if broken is None:
+            pytest.skip("measurement not a dataclass")
+        with pytest.raises(ValueError):
+            profile(broken)
+
+    def test_cell_achieves_higher_bandwidth_than_csr(self, device):
+        """The streaming-efficiency calibration is visible in the profile."""
+        A = power_law_graph(8000, 12, seed=3)
+        m_csr = RowSplitCSRSpMM().measure(CSRFormat.from_csr(A), 256, device)
+        m_cell = CELLSpMM().measure(
+            CELLFormat.from_csr(A, num_partitions=1, max_widths=32), 256, device
+        )
+        assert (
+            profile(m_cell).achieved_bandwidth_gbs
+            > profile(m_csr).achieved_bandwidth_gbs
+        )

@@ -1,0 +1,198 @@
+"""Tests for matrix generators, GNN stand-ins, the collection, and IO."""
+
+import numpy as np
+import pytest
+
+from repro.formats.base import as_csr
+from repro.matrices import (
+    GNN_DATASETS,
+    SuiteSparseLikeCollection,
+    banded_matrix,
+    block_diagonal_matrix,
+    community_graph,
+    diagonal_dominant_matrix,
+    make_gnn_standin,
+    mixture_matrix,
+    power_law_graph,
+    read_matrix_market,
+    rmat_graph,
+    uniform_random_matrix,
+    with_dense_rows,
+    write_matrix_market,
+)
+
+
+class TestGenerators:
+    def test_determinism(self):
+        for gen in (
+            lambda s: power_law_graph(300, 6, seed=s),
+            lambda s: community_graph(300, 8, seed=s),
+            lambda s: uniform_random_matrix(200, 300, 0.01, seed=s),
+            lambda s: banded_matrix(200, 3, seed=s),
+            lambda s: rmat_graph(8, 8, seed=s),
+            lambda s: mixture_matrix(300, seed=s),
+        ):
+            a, b = gen(5), gen(5)
+            assert (a != b).nnz == 0
+
+    def test_power_law_skew(self):
+        A = power_law_graph(2000, 8, seed=1)
+        lengths = np.diff(A.indptr)
+        assert lengths.max() > 8 * lengths.mean()
+
+    def test_power_law_avg_degree(self):
+        A = power_law_graph(3000, 10, seed=2)
+        assert A.nnz / A.shape[0] == pytest.approx(10, rel=0.3)
+
+    def test_community_locality(self):
+        A = community_graph(1000, 12, num_communities=10, p_in=0.95, seed=3)
+        comm = np.repeat(np.arange(10), 100)
+        rows = np.repeat(np.arange(1000), np.diff(A.indptr))
+        same = comm[rows] == comm[np.minimum(A.indices, 999)]
+        assert same.mean() > 0.8
+
+    def test_banded_structure(self):
+        A = banded_matrix(100, 2, seed=0)
+        rows = np.repeat(np.arange(100), np.diff(A.indptr))
+        assert np.abs(rows - A.indices).max() <= 2
+
+    def test_block_diagonal_full_density(self):
+        A = block_diagonal_matrix(64, 8, block_density=1.0, seed=0)
+        assert A.nnz == 64 * 8
+
+    def test_diagonal_dominant_has_full_diagonal(self):
+        A = diagonal_dominant_matrix(100, seed=1)
+        assert np.all(A.diagonal() != 0)
+
+    def test_dense_row_injection(self):
+        base = uniform_random_matrix(200, 200, 0.01, seed=1)
+        heavy = with_dense_rows(base, 2, row_density=0.5, seed=2)
+        lengths = np.diff(heavy.indptr)
+        assert (lengths >= 90).sum() >= 2
+
+    def test_rmat_size(self):
+        A = rmat_graph(9, edge_factor=8, seed=0)
+        assert A.shape == (512, 512)
+
+    def test_symmetry_of_graph_generators(self):
+        # sparsity pattern is symmetric (values are independently random)
+        for A in (power_law_graph(300, 6, seed=4), community_graph(300, 8, seed=4)):
+            P = (A != 0).astype(np.int8)
+            assert (P != P.T).nnz == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            uniform_random_matrix(10, 10, 0.0)
+        with pytest.raises(ValueError):
+            power_law_graph(10, -1)
+        with pytest.raises(ValueError):
+            banded_matrix(10, 0)
+        with pytest.raises(ValueError):
+            rmat_graph(0)
+        with pytest.raises(ValueError):
+            block_diagonal_matrix(10, 4, block_density=0.0)
+
+
+class TestGNNStandins:
+    def test_all_specs_generate(self):
+        for name in ("cora", "citeseer", "pubmed"):
+            A = make_gnn_standin(name, seed=0)
+            spec = GNN_DATASETS[name]
+            assert A.shape[0] == spec.standin_nodes
+
+    def test_density_matches_table4(self):
+        for name in ("cora", "pubmed"):
+            A = make_gnn_standin(name, seed=0)
+            spec = GNN_DATASETS[name]
+            density = A.nnz / (A.shape[0] * A.shape[1])
+            assert density == pytest.approx(spec.density, rel=0.25)
+
+    def test_scaling_preserves_density(self):
+        spec = GNN_DATASETS["reddit"]
+        assert spec.scale > 1
+        standin_density = spec.standin_edges / spec.standin_nodes**2
+        full_density = spec.edges / spec.nodes**2
+        assert standin_density == pytest.approx(full_density, rel=0.05)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_gnn_standin("imaginary")
+
+    def test_seeded_determinism(self):
+        a = make_gnn_standin("cora", seed=3)
+        b = make_gnn_standin("cora", seed=3)
+        assert (a != b).nnz == 0
+
+
+class TestCollection:
+    def test_len_and_iteration(self):
+        coll = SuiteSparseLikeCollection(size=9, max_rows=3000)
+        entries = list(coll)
+        assert len(entries) == len(coll) == 9
+
+    def test_pattern_diversity(self):
+        coll = SuiteSparseLikeCollection(size=9, max_rows=3000)
+        assert len({e.pattern for e in coll}) == 9
+
+    def test_min_rows_respected(self):
+        coll = SuiteSparseLikeCollection(size=6, min_rows=2000, max_rows=4000)
+        for e in coll:
+            assert e.num_rows >= 1000  # rmat rounds to powers of two below n
+
+    def test_deterministic_entries(self):
+        a = SuiteSparseLikeCollection(size=4, seed=5).entry(2)
+        b = SuiteSparseLikeCollection(size=4, seed=5).entry(2)
+        assert a.name == b.name
+        assert (a.matrix != b.matrix).nnz == 0
+
+    def test_index_bounds(self):
+        coll = SuiteSparseLikeCollection(size=3)
+        with pytest.raises(IndexError):
+            coll.entry(3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SuiteSparseLikeCollection(size=0)
+        with pytest.raises(ValueError):
+            SuiteSparseLikeCollection(min_rows=100, max_rows=50)
+
+
+class TestMatrixMarketIO:
+    def test_roundtrip_general(self, tmp_path, matrix_suite):
+        for name, A in matrix_suite.items():
+            path = tmp_path / f"{name}.mtx"
+            write_matrix_market(A, path)
+            back = read_matrix_market(path)
+            diff = back - A
+            assert diff.nnz == 0 or abs(diff).max() < 1e-5, name
+
+    def test_roundtrip_symmetric(self, tmp_path):
+        A = power_law_graph(100, 5, seed=0)
+        # graph generators are symmetric but values differ across the
+        # diagonal; symmetrize values for the symmetric writer
+        import scipy.sparse as sp
+
+        S = as_csr((A + A.T) / 2)
+        path = tmp_path / "sym.mtx"
+        write_matrix_market(S, path, symmetry="symmetric")
+        back = read_matrix_market(path)
+        assert abs(back - S).max() < 1e-5
+
+    def test_header_validation(self, tmp_path):
+        bad = tmp_path / "bad.mtx"
+        bad.write_text("%%Nonsense\n1 1 0\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(bad)
+
+    def test_invalid_symmetry_arg(self, tmp_path, tiny_matrix):
+        with pytest.raises(ValueError):
+            write_matrix_market(tiny_matrix, tmp_path / "x.mtx", symmetry="hermitian")
+
+    def test_empty_matrix(self, tmp_path):
+        import scipy.sparse as sp
+
+        A = sp.csr_matrix((4, 5), dtype=np.float32)
+        path = tmp_path / "empty.mtx"
+        write_matrix_market(A, path)
+        back = read_matrix_market(path)
+        assert back.shape == (4, 5) and back.nnz == 0

@@ -1,0 +1,58 @@
+"""Input-validation coverage for the ML base layer."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import check_array, check_X_y
+from repro.ml import GaussianNB
+
+
+class TestCheckArray:
+    def test_accepts_lists(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_array(np.ones(5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_array(np.ones((0, 3)))
+
+    def test_rejects_nan(self):
+        X = np.ones((3, 2))
+        X[1, 1] = np.nan
+        with pytest.raises(ValueError):
+            check_array(X)
+
+    def test_rejects_inf(self):
+        X = np.ones((3, 2))
+        X[0, 0] = np.inf
+        with pytest.raises(ValueError):
+            check_array(X)
+
+
+class TestCheckXY:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.ones((3, 2)), np.ones(4))
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.ones((3, 2)), np.ones((3, 1)))
+
+    def test_passthrough(self):
+        X, y = check_X_y([[1.0, 2.0]], ["a"])
+        assert X.shape == (1, 2)
+        assert y.shape == (1,)
+
+
+class TestScoreHelper:
+    def test_score_equals_accuracy(self, rng):
+        X = np.vstack([rng.normal(-3, 1, (30, 2)), rng.normal(3, 1, (30, 2))])
+        y = np.array([0] * 30 + [1] * 30)
+        model = GaussianNB().fit(X, y)
+        from repro.ml import accuracy_score
+
+        assert model.score(X, y) == accuracy_score(y, model.predict(X))

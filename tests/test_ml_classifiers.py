@@ -1,0 +1,158 @@
+"""Tests for the remaining classifiers and the ten-model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    CLASSIFIER_NAMES,
+    GaussianNB,
+    GaussianProcessClassifier,
+    KNeighborsClassifier,
+    LinearSVMClassifier,
+    MLPClassifier,
+    QuadraticDiscriminantAnalysis,
+    RBFSVMClassifier,
+    accuracy_score,
+    make_classifier_zoo,
+    train_test_split,
+)
+
+
+def blobs(rng, n_per=50, centers=((-3, -3), (3, 3))):
+    X = np.vstack([rng.normal(c, 1.0, size=(n_per, 2)) for c in centers])
+    y = np.repeat(np.arange(len(centers)), n_per)
+    return X, y
+
+
+def xor_data(rng, n=200):
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestKNN:
+    def test_separable(self, rng):
+        X, y = blobs(rng)
+        knn = KNeighborsClassifier(5).fit(X, y)
+        assert knn.score(X, y) > 0.95
+
+    def test_k1_memorizes(self, rng):
+        X, y = blobs(rng)
+        assert KNeighborsClassifier(1).fit(X, y).score(X, y) == 1.0
+
+    def test_k_larger_than_dataset_clamped(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        knn = KNeighborsClassifier(10).fit(X, y)
+        assert knn.predict(np.array([[0.4]])).shape == (1,)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(0)
+
+
+class TestNaiveBayesQDA:
+    def test_nb_gaussian_blobs(self, rng):
+        X, y = blobs(rng)
+        assert GaussianNB().fit(X, y).score(X, y) > 0.95
+
+    def test_qda_learns_quadratic_boundary(self, rng):
+        # inner cluster vs surrounding ring: linear models fail, QDA succeeds
+        n = 300
+        inner = rng.normal(0, 0.5, size=(n, 2))
+        angle = rng.uniform(0, 2 * np.pi, n)
+        ring = np.column_stack([3 * np.cos(angle), 3 * np.sin(angle)]) + rng.normal(
+            0, 0.3, (n, 2)
+        )
+        X = np.vstack([inner, ring])
+        y = np.array([0] * n + [1] * n)
+        qda = QuadraticDiscriminantAnalysis().fit(X, y)
+        assert qda.score(X, y) > 0.95
+
+    def test_qda_proba_simplex(self, rng):
+        X, y = blobs(rng)
+        P = QuadraticDiscriminantAnalysis().fit(X, y).predict_proba(X)
+        assert np.allclose(P.sum(axis=1), 1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GaussianNB(var_smoothing=0.0)
+        with pytest.raises(ValueError):
+            QuadraticDiscriminantAnalysis(reg_param=2.0)
+
+
+class TestSVMs:
+    def test_linear_svm_separable(self, rng):
+        X, y = blobs(rng)
+        svm = LinearSVMClassifier(epochs=40, seed=0).fit(X, y)
+        assert svm.score(X, y) > 0.95
+
+    def test_rbf_svm_solves_xor(self, rng):
+        X, y = xor_data(rng)
+        rbf = RBFSVMClassifier(C=5.0, gamma=2.0).fit(X, y)
+        lin = LinearSVMClassifier(epochs=40, seed=0).fit(X, y)
+        assert rbf.score(X, y) > 0.9
+        assert rbf.score(X, y) > lin.score(X, y)
+
+    def test_decision_function_shape(self, rng):
+        X, y = blobs(rng, centers=((-3, 0), (0, 3), (3, 0)))
+        svm = LinearSVMClassifier(epochs=20, seed=0).fit(X, y)
+        assert svm.decision_function(X).shape == (X.shape[0], 3)
+
+    def test_invalid_C(self):
+        with pytest.raises(ValueError):
+            LinearSVMClassifier(C=0.0)
+        with pytest.raises(ValueError):
+            RBFSVMClassifier(C=-1.0)
+
+    def test_rbf_invalid_gamma(self, rng):
+        X, y = blobs(rng)
+        with pytest.raises(ValueError):
+            RBFSVMClassifier(gamma=-1.0).fit(X, y)
+
+
+class TestMLPAndGP:
+    def test_mlp_solves_xor(self, rng):
+        X, y = xor_data(rng)
+        mlp = MLPClassifier(hidden=32, epochs=150, seed=0).fit(X, y)
+        assert mlp.score(X, y) > 0.9
+
+    def test_mlp_proba_simplex(self, rng):
+        X, y = blobs(rng)
+        P = MLPClassifier(epochs=30, seed=0).fit(X, y).predict_proba(X)
+        assert np.allclose(P.sum(axis=1), 1.0)
+
+    def test_gp_separable(self, rng):
+        X, y = blobs(rng)
+        gp = GaussianProcessClassifier().fit(X, y)
+        assert gp.score(X, y) > 0.95
+
+    def test_gp_nonlinear(self, rng):
+        X, y = xor_data(rng)
+        gp = GaussianProcessClassifier(length_scale=0.5).fit(X, y)
+        assert gp.score(X, y) > 0.9
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden=0)
+        with pytest.raises(ValueError):
+            GaussianProcessClassifier(length_scale=0.0)
+
+
+class TestZoo:
+    def test_ten_models(self):
+        zoo = make_classifier_zoo()
+        assert set(zoo) == set(CLASSIFIER_NAMES)
+        assert len(CLASSIFIER_NAMES) == 10
+
+    def test_every_model_beats_chance(self, rng):
+        X, y = blobs(rng, n_per=80, centers=((-2, -2), (2, 2), (0, 4)))
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25, seed=0)
+        for name, factory in make_classifier_zoo(seed=0).items():
+            model = factory().fit(Xtr, ytr)
+            acc = accuracy_score(yte, model.predict(Xte))
+            assert acc > 0.5, f"{name} scored {acc:.2f}"
+
+    def test_factories_return_fresh_models(self):
+        zoo = make_classifier_zoo()
+        assert zoo["Random Forest"]() is not zoo["Random Forest"]()

@@ -1,0 +1,120 @@
+"""Tests for classification metrics and the paper's similarity measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import (
+    accuracy_score,
+    confusion_matrix,
+    cosine_similarity,
+    f1_score,
+    partition_similarity,
+    precision_score,
+    recall_score,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_none_right(self):
+        assert accuracy_score([1, 1], [2, 2]) == 0.0
+
+    def test_partial(self):
+        assert accuracy_score([1, 2, 3, 4], [1, 2, 0, 0]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 2], [1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_binary(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert cm.tolist() == [[1, 1], [0, 2]]
+
+    def test_diagonal_sum_is_correct_count(self):
+        y = np.array([0, 1, 2, 1, 0])
+        p = np.array([0, 1, 1, 1, 2])
+        cm = confusion_matrix(y, p)
+        assert np.trace(cm) == np.sum(y == p)
+
+
+class TestMicroMetrics:
+    def test_micro_prf_equal_accuracy(self):
+        """The Tables 5-6 signature: micro P = R = F1 = accuracy."""
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 4, 200)
+        p = rng.integers(0, 4, 200)
+        acc = accuracy_score(y, p)
+        assert precision_score(y, p) == pytest.approx(acc)
+        assert recall_score(y, p) == pytest.approx(acc)
+        assert f1_score(y, p) == pytest.approx(acc)
+
+    def test_macro_differs_on_imbalanced(self):
+        y = [0] * 90 + [1] * 10
+        p = [0] * 100
+        assert precision_score(y, p, average="macro") < precision_score(y, p, average="micro")
+
+    def test_invalid_average(self):
+        with pytest.raises(ValueError):
+            precision_score([0, 1], [0, 1], average="weighted")
+
+
+class TestPartitionSimilarity:
+    def test_exact_match(self):
+        assert partition_similarity(4, 4) == 1.0
+
+    def test_eq1_formula(self):
+        # 1 - |p - p̂| / max(p, p̂)
+        assert partition_similarity(2, 4) == pytest.approx(1 - 2 / 4)
+        assert partition_similarity(8, 4) == pytest.approx(1 - 4 / 8)
+
+    def test_symmetry(self):
+        for a, b in [(1, 32), (2, 8), (4, 4)]:
+            assert partition_similarity(a, b) == pytest.approx(partition_similarity(b, a))
+
+    def test_close_counts_score_high(self):
+        assert partition_similarity(8, 16) > partition_similarity(1, 16)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            partition_similarity(-1, 4)
+
+
+class TestCosineSimilarity:
+    def test_identical(self):
+        v = np.array([1.0, 2.0, 4.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_scale_invariant(self):
+        u = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(u, 10 * u) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([1, 2], [1, 2, 3])
+
+    def test_zero_vectors(self):
+        assert cosine_similarity([0, 0], [0, 0]) == 1.0
+        assert cosine_similarity([0, 0], [1, 0]) == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    p=st.integers(1, 64),
+    a=st.integers(1, 64),
+)
+def test_partition_similarity_bounds(p, a):
+    s = partition_similarity(p, a)
+    assert 0.0 <= s <= 1.0
+    assert (s == 1.0) == (p == a)

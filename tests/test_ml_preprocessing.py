@@ -1,0 +1,107 @@
+"""Tests for scalers, encoders, and model selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml import KFold, LabelEncoder, StandardScaler, cross_val_score, train_test_split
+from repro.ml.naive_bayes import GaussianNB
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self, rng):
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_passthrough(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_feature_count_mismatch(self):
+        s = StandardScaler().fit(np.ones((5, 3)))
+        with pytest.raises(ValueError):
+            s.transform(np.ones((5, 4)))
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        y = np.array(["b", "a", "c", "a"])
+        enc = LabelEncoder().fit(y)
+        codes = enc.transform(y)
+        assert list(enc.inverse_transform(codes)) == list(y)
+
+    def test_codes_contiguous(self):
+        enc = LabelEncoder()
+        codes = enc.fit_transform(np.array([10, 30, 10, 20]))
+        assert set(codes) == {0, 1, 2}
+
+    def test_unseen_label_rejected(self):
+        enc = LabelEncoder().fit(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            enc.transform(np.array([3]))
+
+    def test_out_of_range_codes(self):
+        enc = LabelEncoder().fit(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            enc.inverse_transform(np.array([5]))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = rng.integers(0, 2, 100)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.2, seed=0)
+        assert len(Xte) + len(Xtr) == 100
+        assert 10 <= len(Xte) <= 30
+
+    def test_stratification_keeps_both_classes(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = np.array([0] * 90 + [1] * 10)
+        _, _, ytr, yte = train_test_split(X, y, test_size=0.2, seed=3)
+        assert set(yte) == {0, 1}
+        assert set(ytr) == {0, 1}
+
+    def test_deterministic(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = rng.integers(0, 2, 50)
+        a = train_test_split(X, y, seed=7)
+        b = train_test_split(X, y, seed=7)
+        assert np.array_equal(a[1], b[1])
+
+    def test_invalid_test_size(self, rng):
+        X = rng.normal(size=(10, 2))
+        y = rng.integers(0, 2, 10)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_size=1.5)
+
+
+class TestKFold:
+    def test_folds_partition_samples(self):
+        seen = []
+        for train, test in KFold(n_splits=5, seed=0).split(50):
+            assert set(train) & set(test) == set()
+            seen.extend(test)
+        assert sorted(seen) == list(range(50))
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_min_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+class TestCrossValScore:
+    def test_learns_separable_problem(self, rng):
+        X = np.vstack([rng.normal(-3, 1, (50, 2)), rng.normal(3, 1, (50, 2))])
+        y = np.array([0] * 50 + [1] * 50)
+        scores = cross_val_score(lambda: GaussianNB(), X, y, n_splits=5, seed=0)
+        assert scores.shape == (5,)
+        assert scores.mean() > 0.9

@@ -1,0 +1,87 @@
+"""Hypothesis property tests on cross-module invariants."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.core import build_buckets, matrix_cost_profiles
+from repro.formats import CELLFormat, CSRFormat
+from repro.formats.base import as_csr
+from repro.gpu import SimulatedDevice
+from repro.kernels import CELLSpMM, RowSplitCSRSpMM, spmm_reference
+
+DEVICE = SimulatedDevice()
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(8, 120))
+    seed = draw(st.integers(0, 2**31 - 1))
+    density = draw(st.floats(0.005, 0.15))
+    rng = np.random.default_rng(seed)
+    nnz = max(1, int(n * n * density))
+    r = rng.integers(0, n, nnz)
+    c = rng.integers(0, n, nnz)
+    v = rng.standard_normal(nnz).astype(np.float32)
+    v[v == 0] = 1.0
+    return as_csr(sp.csr_matrix((v, (r, c)), shape=(n, n)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(A=graphs(), J=st.sampled_from([1, 8, 33]))
+def test_cell_spmm_equals_csr_spmm_numerically(A, J):
+    """Any two kernels must compute the same C (format independence)."""
+    rng = np.random.default_rng(0)
+    B = rng.standard_normal((A.shape[1], J)).astype(np.float32)
+    ref = spmm_reference(A, B)
+    c1 = RowSplitCSRSpMM().execute(CSRFormat.from_csr(A), B)
+    c2 = CELLSpMM().execute(CELLFormat.from_csr(A, num_partitions=1, max_widths=4), B)
+    np.testing.assert_allclose(c1, ref, rtol=1e-3, atol=1e-3)
+    np.testing.assert_allclose(c2, ref, rtol=1e-3, atol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(A=graphs(), J=st.sampled_from([16, 128]))
+def test_alg3_choice_is_feasible_and_costed(A, J):
+    prof = matrix_cost_profiles(A, 1)[0]
+    if not prof.num_nonempty_rows:
+        return
+    r = build_buckets(prof, J)
+    assert 0 <= r.max_exp <= prof.natural_max_exp
+    assert r.cost == prof.cost(r.max_exp, J)
+    # the choice is never worse than both extremes
+    assert r.cost <= max(prof.cost(0, J), prof.cost(prof.natural_max_exp, J))
+
+
+@settings(max_examples=20, deadline=None)
+@given(A=graphs(), J=st.sampled_from([16, 64]))
+def test_simulated_time_positive_and_deterministic(A, J):
+    fmt = CELLFormat.from_csr(A, num_partitions=1)
+    t1 = CELLSpMM().measure(fmt, J, DEVICE).time_s
+    t2 = CELLSpMM().measure(fmt, J, DEVICE).time_s
+    assert t1 > 0
+    assert t1 == t2
+
+
+@settings(max_examples=20, deadline=None)
+@given(A=graphs())
+def test_cost_monotone_in_J(A):
+    """More dense columns can only raise every bucket's cost."""
+    prof = matrix_cost_profiles(A, 1)[0]
+    if not prof.num_nonempty_rows:
+        return
+    for e in (0, 2, prof.natural_max_exp):
+        assert prof.cost(e, 64) >= prof.cost(e, 16)
+
+
+@settings(max_examples=20, deadline=None)
+@given(A=graphs(), P=st.sampled_from([2, 3]))
+def test_partition_profiles_cover_all_nnz(A, P):
+    if P > A.shape[1]:
+        return
+    profiles = matrix_cost_profiles(A, P)
+    # With cap exponent 0 every non-empty row folds into the cap bucket, so
+    # its column union is the partition's full distinct-column set; the
+    # partitions' disjoint ranges must then cover all stored columns.
+    total_unique = sum(p.cap_bucket_unique(0) for p in profiles)
+    assert total_unique == np.unique(A.indices).size

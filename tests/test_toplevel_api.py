@@ -1,0 +1,49 @@
+"""Tests for the top-level one-call API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.kernels import spmm_reference
+from repro.matrices import power_law_graph
+
+
+@pytest.fixture(scope="module")
+def workload():
+    A = power_law_graph(600, 8, seed=1)
+    B = np.random.default_rng(0).standard_normal((A.shape[1], 16)).astype(np.float32)
+    return A, B, spmm_reference(A, B)
+
+
+@pytest.mark.parametrize(
+    "method",
+    ["cell", "csr", "sputnik", "dgsparse", "taco", "bcsr", "ell", "sliced-ell"],
+)
+def test_spmm_all_methods(method, workload):
+    A, B, ref = workload
+    C, m = repro.spmm(A, B, method=method)
+    np.testing.assert_allclose(C, ref, rtol=1e-3, atol=1e-3)
+    assert m.time_s > 0
+
+
+def test_spmm_format_kwargs(workload):
+    A, B, ref = workload
+    C, m = repro.spmm(A, B, method="cell", num_partitions=2, max_widths=8)
+    np.testing.assert_allclose(C, ref, rtol=1e-3, atol=1e-3)
+
+
+def test_spmm_unknown_method(workload):
+    A, B, _ = workload
+    with pytest.raises(ValueError):
+        repro.spmm(A, B, method="magic")
+
+
+def test_spmm_accepts_dense_input():
+    A = np.eye(5, dtype=np.float32)
+    B = np.arange(10, dtype=np.float32).reshape(5, 2)
+    C, _ = repro.spmm(A, B, method="csr")
+    np.testing.assert_allclose(C, B)
+
+
+def test_version():
+    assert repro.__version__
