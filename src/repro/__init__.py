@@ -7,7 +7,9 @@ High-level entry points:
 * :func:`repro.spmm` — one-call SpMM with any of the compared systems;
 * :mod:`repro.formats` — CELL and the classic sparse formats;
 * :mod:`repro.baselines` — the seven Section 7 comparison systems;
-* :mod:`repro.gpu` — the analytical V100 performance model.
+* :mod:`repro.gpu` — the analytical V100 performance model;
+* :mod:`repro.serve` — the SpMM serving layer (plan cache, admission
+  control, workload replay) amortizing composition across requests.
 
 See README.md for a guided tour and DESIGN.md for the reproduction plan.
 """
@@ -85,4 +87,17 @@ def spmm(
     return kernel_cls().run(fmt, np.asarray(B), device or SimulatedDevice())
 
 
-__all__ = ["spmm", "__version__"]
+#: Serving-layer names importable from the top level (resolved lazily so
+#: ``import repro`` stays light).
+_SERVE_EXPORTS = ("SpMMServer", "SpMMRequest", "PlanCache")
+
+
+def __getattr__(name: str):
+    if name in _SERVE_EXPORTS:
+        import repro.serve as serve
+
+        return getattr(serve, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = ["spmm", "__version__", *_SERVE_EXPORTS]

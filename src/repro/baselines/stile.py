@@ -27,7 +27,7 @@ from repro.formats.base import SparseFormat, VALUE_DTYPE, ceil_pow2
 from repro.formats.cell import CELLFormat
 from repro.formats.csr import CSRFormat
 from repro.gpu.device import SimulatedDevice
-from repro.gpu.stats import KernelStats, Measurement
+from repro.gpu.stats import KernelStats
 from repro.kernels.base import SpMMKernel, check_dense_operand
 from repro.kernels.cell_spmm import CELLSpMM
 from repro.kernels.csr_spmm import RowSplitCSRSpMM

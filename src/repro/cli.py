@@ -10,6 +10,10 @@ Commands
 ``train``
     Generate training data on a synthetic collection, fit LiteForm's
     predictors, and save them for later ``--models`` use.
+``serve``
+    Replay a seeded Zipf workload through :class:`repro.serve.SpMMServer`
+    (plan caching, admission control, device pool) and print the metrics
+    report.
 ``info``
     Print format statistics (padding, footprint) for every format on the
     input matrix.
@@ -39,7 +43,6 @@ from repro.formats import (
 from repro.gpu import SimulatedDevice
 from repro.gpu.device import SimulatedOOMError
 from repro.matrices import (
-    GNN_DATASETS,
     SuiteSparseLikeCollection,
     make_gnn_standin,
     read_matrix_market,
@@ -109,11 +112,14 @@ def cmd_compare(args) -> int:
     prep = LiteFormBaseline(lf).prepare(A, args.J, device)
     rows.append(("liteform", prep.kernel.measure(prep.fmt, args.J, device).time_s,
                  prep.construction_overhead_s))
-    ref = next(t for n, t, _ in rows if n == "cusparse")
+    # The reference may itself have OOMed (or be missing entirely); print
+    # "-" for the speedup column rather than inf/garbage ratios.
+    ref = next((t for n, t, _ in rows if n == "cusparse" and np.isfinite(t)), None)
     print(f"{'system':10s} {'time_ms':>10s} {'vs_cusparse':>12s} {'construct_s':>12s}")
     for name, t, oh in rows:
         tt = f"{t*1e3:10.3f}" if np.isfinite(t) else f"{'OOM':>10s}"
-        sp = f"{ref/t:12.2f}" if np.isfinite(t) else f"{'-':>12s}"
+        has_ratio = ref is not None and np.isfinite(t) and t > 0
+        sp = f"{ref/t:12.2f}" if has_ratio else f"{'-':>12s}"
         print(f"{name:10s} {tt} {sp} {oh:12.4f}")
     return 0
 
@@ -125,6 +131,39 @@ def cmd_train(args) -> int:
     save_liteform(lf, args.output)
     print(f"trained on {len(data.format_samples)} matrices "
           f"({int(data.format_y.sum())} CELL-favourable); saved to {args.output}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import PlanCache, SpMMServer, WorkloadSpec, generate_workload
+
+    spec = WorkloadSpec(
+        num_requests=args.requests,
+        num_matrices=args.matrices,
+        zipf_s=args.zipf,
+        J_choices=tuple(int(j) for j in args.J_values.split(",")),
+        max_rows=args.max_rows,
+        deadline_ms=args.deadline_ms,
+        deadline_fraction=args.deadline_fraction if args.deadline_ms else 0.0,
+        with_operands=not args.measure_only,
+        seed=args.seed,
+    )
+    lf = _get_liteform(args)
+    print(
+        f"replaying {spec.num_requests} requests over {spec.num_matrices} "
+        f"matrices (Zipf {spec.zipf_s}) ...",
+        file=sys.stderr,
+    )
+    server = SpMMServer(
+        liteform=lf,
+        cache=PlanCache(max_bytes=int(args.cache_mb * 2**20)),
+        num_devices=args.devices,
+    )
+    server.replay(generate_workload(spec))
+    if args.json:
+        print(json.dumps(server.snapshot(), indent=2))
+    else:
+        print(server.report())
     return 0
 
 
@@ -167,6 +206,30 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("compare", help="run all baselines on the input")
     add_common(sp)
     sp.set_defaults(func=cmd_compare)
+
+    sp = sub.add_parser("serve", help="replay a Zipf workload through SpMMServer")
+    sp.add_argument("--requests", type=int, default=200, help="requests to replay")
+    sp.add_argument("--matrices", type=int, default=16, help="distinct matrices in the pool")
+    sp.add_argument("--zipf", type=float, default=1.1, help="popularity exponent")
+    sp.add_argument("--J-values", default="32,64,128",
+                    help="comma-separated J widths mixed into the trace")
+    sp.add_argument("--max-rows", type=int, default=3_000,
+                    help="row cap of the pool matrices")
+    sp.add_argument("--deadline-ms", type=float, default=None,
+                    help="composition deadline for the latency-sensitive tier")
+    sp.add_argument("--deadline-fraction", type=float, default=0.25,
+                    help="fraction of requests carrying the deadline")
+    sp.add_argument("--cache-mb", type=float, default=256.0,
+                    help="plan-cache byte budget in MiB")
+    sp.add_argument("--devices", type=int, default=1, help="simulated device pool size")
+    sp.add_argument("--measure-only", action="store_true",
+                    help="skip numeric execution, time the kernels only")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--models", help="saved LiteForm models (from `train`)")
+    sp.add_argument("--train-size", type=int, default=12,
+                    help="collection size when training ad hoc")
+    sp.add_argument("--json", action="store_true", help="machine-readable output")
+    sp.set_defaults(func=cmd_serve)
 
     sp = sub.add_parser("train", help="train and save LiteForm's predictors")
     sp.add_argument("output", help="output path (.pkl)")

@@ -35,8 +35,13 @@ def load_liteform(path: str | Path) -> LiteForm:
     """Load a LiteForm saved by :func:`save_liteform`."""
     with Path(path).open("rb") as fh:
         payload = pickle.load(fh)
-    if not isinstance(payload, dict) or payload.get("magic") != MAGIC:
+    if not isinstance(payload, dict) or "magic" not in payload:
         raise ValueError(f"{path} is not a saved LiteForm model bundle")
+    if payload["magic"] != MAGIC:
+        raise ValueError(
+            f"{path} has incompatible bundle tag {payload['magic']!r} "
+            f"(expected {MAGIC!r}); re-save the models with this version"
+        )
     lf = LiteForm(
         selector=payload["selector"],
         partition_model=payload["partition_model"],

@@ -55,7 +55,9 @@ class ComposePlan:
     kernel: SpMMKernel
     num_partitions: int
     max_widths: list[int] = field(default_factory=list)
-    overhead: OverheadBreakdown = OverheadBreakdown(0.0, 0.0, 0.0, 0.0)
+    overhead: OverheadBreakdown = field(
+        default_factory=lambda: OverheadBreakdown(0.0, 0.0, 0.0, 0.0)
+    )
     predicted_cost: float | None = None
 
 
@@ -116,11 +118,23 @@ class LiteForm:
         ``force_cell`` overrides stage 1 (used by ablations and by Fig. 7,
         which compares composed CELL directly against tuned SparseTIR).
         """
+        return self.compose_csr(as_csr(A), J, force_cell=force_cell)
+
+    def compose_csr(
+        self, A: sp.csr_matrix, J: int, force_cell: bool | None = None
+    ) -> ComposePlan:
+        """:meth:`compose` for an already-canonical CSR matrix.
+
+        Skips the ``as_csr`` re-validation (dtype conversion, duplicate
+        summing, index sorting) — the hot path for callers that fingerprint
+        or otherwise pre-process the CSR arrays, e.g.
+        :class:`repro.serve.server.SpMMServer`.  The caller guarantees
+        sorted, deduplicated float32 CSR input.
+        """
         if not self._fitted and force_cell is None:
             raise RuntimeError("LiteForm.fit must run before compose")
         if J < 1:
             raise ValueError(f"J must be >= 1, got {J}")
-        A = as_csr(A)
 
         t0 = time.perf_counter()
         use_cell = force_cell if force_cell is not None else self.selector.predict(A)

@@ -22,7 +22,7 @@ way — the property the reproduction's conclusions rest on.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

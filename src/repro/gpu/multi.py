@@ -21,7 +21,6 @@ import scipy.sparse as sp
 
 from repro.formats.base import as_csr
 from repro.gpu.device import GPUSpec, SimulatedDevice, V100
-from repro.gpu.stats import Measurement
 
 
 @dataclass(frozen=True)

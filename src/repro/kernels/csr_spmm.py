@@ -9,7 +9,6 @@ from repro.gpu.memory import CacheModel, coalesced_bytes, scattered_bytes
 from repro.gpu.stats import KernelStats
 from repro.kernels.base import (
     DEFAULT_WAVE_BLOCKS,
-    WORD,
     SpMMKernel,
     check_dense_operand,
     operand_footprint,

@@ -1,0 +1,40 @@
+"""Request serving on top of the LiteForm pipeline.
+
+The paper's argument (Figures 8-9) is that composition is cheap enough to
+amortize *online*; this package supplies the layer that does the
+amortizing.  A :class:`~repro.serve.server.SpMMServer` accepts
+:class:`~repro.serve.server.SpMMRequest` objects, keys composed plans by a
+content fingerprint of the sparsity pattern (so repeated matrices hit a
+byte-budgeted LRU :class:`~repro.serve.plan_cache.PlanCache` instead of
+re-running the pipeline), applies deadline-driven admission control (a
+request whose estimated composition overhead would blow its deadline is
+served a plain CSR row-split plan immediately), and executes on a pool of
+simulated devices.  :mod:`~repro.serve.workload` generates seeded
+Zipf-distributed request traffic for replay; :mod:`~repro.serve.metrics`
+aggregates the serving counters and latency percentiles.
+
+See docs/SERVING.md for cache keying, eviction, and deadline semantics.
+"""
+
+from repro.serve.fingerprint import MatrixFingerprint, fingerprint_csr, plan_key
+from repro.serve.metrics import LatencySeries, ServerMetrics
+from repro.serve.plan_cache import CACHE_MAGIC, CacheEntry, PlanCache
+from repro.serve.server import SpMMRequest, SpMMResponse, SpMMServer
+from repro.serve.workload import WorkloadSpec, generate_workload, zipf_weights
+
+__all__ = [
+    "MatrixFingerprint",
+    "fingerprint_csr",
+    "plan_key",
+    "PlanCache",
+    "CacheEntry",
+    "CACHE_MAGIC",
+    "LatencySeries",
+    "ServerMetrics",
+    "SpMMRequest",
+    "SpMMResponse",
+    "SpMMServer",
+    "WorkloadSpec",
+    "generate_workload",
+    "zipf_weights",
+]

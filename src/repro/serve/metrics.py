@@ -1,0 +1,120 @@
+"""Serving counters and latency aggregates.
+
+:class:`ServerMetrics` is the server-side scoreboard: request and
+degradation counters, composition time spent vs. saved (the quantity the
+plan cache exists to recover — Figures 8-9 measure exactly this overhead
+per compose), and latency percentiles over the simulated execution times.
+``snapshot()`` returns a flat JSON-friendly dict; ``report()`` renders a
+plain-text summary for the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Percentiles reported by every latency summary.
+PERCENTILES = (50, 95, 99)
+
+
+class LatencySeries:
+    """An append-only series of latencies with percentile summaries."""
+
+    def __init__(self, unit: str = "ms"):
+        self.unit = unit
+        self._values: list[float] = []
+
+    def add(self, value: float) -> None:
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=np.float64)
+
+    def percentile(self, p: float) -> float:
+        if not self._values:
+            return 0.0
+        return float(np.percentile(self.values, p))
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean()) if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        return float(self.values.max()) if self._values else 0.0
+
+    def summary(self) -> dict:
+        """``{"p50": ..., "p95": ..., "p99": ..., "mean": ..., "max": ...}``."""
+        out = {f"p{p}": self.percentile(p) for p in PERCENTILES}
+        out["mean"] = self.mean
+        out["max"] = self.max
+        return out
+
+
+@dataclass
+class ServerMetrics:
+    """Scoreboard updated by :class:`repro.serve.server.SpMMServer`."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Requests served the CSR fallback plan by admission control.
+    degraded: int = 0
+    #: Requests whose composition overhead exceeded their deadline anyway.
+    deadline_misses: int = 0
+    #: Requests that hit a simulated OOM during execution.
+    failed: int = 0
+    #: Wall-clock seconds spent composing (cache misses).
+    compose_spent_s: float = 0.0
+    #: Wall-clock seconds a compose-per-request server would have spent on
+    #: the hits (credited from each cached entry's recorded overhead).
+    compose_saved_s: float = 0.0
+    #: Simulated kernel execution time per request.
+    exec_ms: LatencySeries = field(default_factory=LatencySeries)
+    #: End-to-end request latency: composition overhead + simulated execution.
+    total_ms: LatencySeries = field(default_factory=LatencySeries)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict:
+        """Flat, JSON-friendly view of the scoreboard."""
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "degraded": self.degraded,
+            "deadline_misses": self.deadline_misses,
+            "failed": self.failed,
+            "compose_spent_s": self.compose_spent_s,
+            "compose_saved_s": self.compose_saved_s,
+            "exec_ms": self.exec_ms.summary(),
+            "total_ms": self.total_ms.summary(),
+        }
+
+    def report(self) -> str:
+        """Plain-text summary for terminal output."""
+        e, t = self.exec_ms.summary(), self.total_ms.summary()
+        lines = [
+            f"requests            {self.requests}",
+            f"cache hits/misses   {self.cache_hits}/{self.cache_misses} "
+            f"(hit rate {self.hit_rate:.1%})",
+            f"degraded requests   {self.degraded}",
+            f"deadline misses     {self.deadline_misses}",
+            f"failed (OOM)        {self.failed}",
+            f"compose spent       {self.compose_spent_s * 1e3:.1f} ms",
+            f"compose saved       {self.compose_saved_s * 1e3:.1f} ms",
+            "simulated exec ms   "
+            f"p50={e['p50']:.3f} p95={e['p95']:.3f} p99={e['p99']:.3f} max={e['max']:.3f}",
+            "request latency ms  "
+            f"p50={t['p50']:.3f} p95={t['p95']:.3f} p99={t['p99']:.3f} max={t['max']:.3f}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Byte-budgeted LRU cache of composed plans.
+
+The unit of accounting is the plan's *device footprint*
+(``fmt.footprint_bytes``): a cached plan pins its format arrays, so the
+budget models keeping hot formats resident.  Eviction is strict LRU; a
+plan larger than the whole budget is rejected outright (counted in
+``rejected``) rather than thrashing the cache.
+
+Caches can be spilled to disk and warm-started, reusing the pickle-bundle
+convention of :mod:`repro.core.persistence` (a ``magic`` tag checked on
+load, bumped on incompatible changes).
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.pipeline import ComposePlan
+
+#: Format tag checked on load, bumped on incompatible changes.
+CACHE_MAGIC = "repro-plancache-v1"
+
+#: Default budget: 256 MiB of resident format arrays.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+@dataclass
+class CacheEntry:
+    """One resident plan with its accounting metadata."""
+
+    key: str
+    plan: ComposePlan
+    size_bytes: int
+    #: Wall-clock cost of the compose that produced the plan; every later
+    #: hit credits this amount to "composition time saved".
+    compose_overhead_s: float
+    hits: int = 0
+
+
+class PlanCache:
+    """LRU plan cache with a byte budget and hit/miss/eviction counters."""
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES):
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> list[str]:
+        """Keys in LRU order (least recently used first)."""
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> CacheEntry | None:
+        """Look up a plan; a hit refreshes its LRU position."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        entry.hits += 1
+        return entry
+
+    def put(self, key: str, plan: ComposePlan, compose_overhead_s: float = 0.0) -> bool:
+        """Insert (or refresh) a plan; returns False if it cannot fit."""
+        size = int(plan.fmt.footprint_bytes)
+        if size > self.max_bytes:
+            self.rejected += 1
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.total_bytes -= old.size_bytes
+        self._entries[key] = CacheEntry(
+            key=key, plan=plan, size_bytes=size, compose_overhead_s=compose_overhead_s
+        )
+        self.total_bytes += size
+        while self.total_bytes > self.max_bytes:
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self.total_bytes -= evicted.size_bytes
+            self.evictions += 1
+            assert evicted_key != key  # the fresh entry always fits alone
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.total_bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        """Counters snapshot (JSON-friendly)."""
+        return {
+            "entries": len(self._entries),
+            "bytes": self.total_bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "rejected": self.rejected,
+            "hit_rate": self.hit_rate,
+        }
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Spill the resident entries (not the counters) to ``path``."""
+        payload = {
+            "magic": CACHE_MAGIC,
+            "max_bytes": self.max_bytes,
+            "entries": [
+                (e.key, e.plan, e.compose_overhead_s) for e in self._entries.values()
+            ],
+        }
+        with Path(path).open("wb") as fh:
+            pickle.dump(payload, fh)
+
+    @classmethod
+    def load(cls, path: str | Path, max_bytes: int | None = None) -> "PlanCache":
+        """Warm-start a cache from a :meth:`save` bundle."""
+        with Path(path).open("rb") as fh:
+            payload = pickle.load(fh)
+        if not isinstance(payload, dict) or "magic" not in payload:
+            raise ValueError(f"{path} is not a saved plan-cache bundle")
+        if payload["magic"] != CACHE_MAGIC:
+            raise ValueError(
+                f"{path} has incompatible cache tag {payload['magic']!r} "
+                f"(expected {CACHE_MAGIC!r})"
+            )
+        cache = cls(max_bytes=max_bytes or payload["max_bytes"])
+        for key, plan, overhead_s in payload["entries"]:
+            cache.put(key, plan, compose_overhead_s=overhead_s)
+        # warm-starting is not traffic: reset the counters put() bumped
+        cache.hits = cache.misses = 0
+        return cache

@@ -1,0 +1,254 @@
+"""`SpMMServer` — the request loop between traffic and the pipeline.
+
+Per request the server (1) canonicalizes and fingerprints the matrix,
+(2) consults the plan cache keyed on ``(fingerprint, J)``, (3) on a miss
+runs admission control — if the request carries a deadline and the
+*estimated* composition overhead (an EWMA rate per non-zero learned from
+this server's own ``OverheadBreakdown`` history) would blow it, the ML
+pipeline is skipped and a plain CSR row-split plan is built immediately
+(the degraded path) — otherwise composes via ``LiteForm.compose_csr``,
+and (4) executes on the least-loaded device of a homogeneous pool (the
+same shortest-queue idea :mod:`repro.gpu.multi` uses for shard
+placement, applied across requests instead of within one).
+
+Deadlines bound the *composition overhead* (time until the kernel can be
+launched), not the simulated kernel time — execution cost is intrinsic
+to the workload, while composition overhead is the part the paper (and
+admission control) can do something about.  A degraded request can
+therefore still "miss" only by the cost of building CSR itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.pipeline import ComposePlan, LiteForm, OverheadBreakdown
+from repro.formats.base import VALUE_DTYPE, as_csr
+from repro.formats.csr import CSRFormat
+from repro.gpu.device import SimulatedDevice, SimulatedOOMError
+from repro.gpu.stats import Measurement
+from repro.kernels.csr_spmm import RowSplitCSRSpMM
+from repro.serve.fingerprint import fingerprint_csr, plan_key
+from repro.serve.metrics import ServerMetrics
+from repro.serve.plan_cache import PlanCache
+
+
+@dataclass
+class SpMMRequest:
+    """One unit of traffic: multiply ``matrix @ B`` with ``J`` columns.
+
+    ``B`` may be ``None`` for measure-only traffic (replay benchmarks that
+    only need timing).  ``deadline_ms`` bounds the composition overhead;
+    ``None`` means best-effort (always take the full pipeline).
+    """
+
+    matrix: sp.spmatrix
+    B: np.ndarray | None
+    J: int
+    deadline_ms: float | None = None
+    name: str = ""
+
+
+@dataclass
+class SpMMResponse:
+    """Outcome of one served request."""
+
+    C: np.ndarray | None
+    measurement: Measurement | None
+    plan: ComposePlan | None
+    key: str
+    cache_hit: bool
+    degraded: bool
+    deadline_missed: bool
+    failed: bool
+    device_index: int
+    #: Composition overhead actually paid for this request (wall clock):
+    #: fingerprint+lookup on a hit, full compose on a miss, CSR build on
+    #: the degraded path.
+    compose_overhead_s: float
+    #: ``compose_overhead_s`` + simulated execution time.
+    latency_ms: float
+
+
+@dataclass
+class _DeviceSlot:
+    device: SimulatedDevice
+    busy_s: float = 0.0
+    requests: int = 0
+
+
+@dataclass
+class SpMMServer:
+    """Serve SpMM requests with plan caching and admission control."""
+
+    liteform: LiteForm
+    cache: PlanCache = field(default_factory=PlanCache)
+    devices: list[SimulatedDevice] | None = None
+    num_devices: int = 1
+    #: Smoothing factor of the per-nnz composition-cost estimate.
+    overhead_ewma_alpha: float = 0.3
+    metrics: ServerMetrics = field(default_factory=ServerMetrics)
+
+    def __post_init__(self) -> None:
+        if self.devices is None:
+            if self.num_devices < 1:
+                raise ValueError(f"num_devices must be >= 1, got {self.num_devices}")
+            self.devices = [SimulatedDevice() for _ in range(self.num_devices)]
+        if not self.devices:
+            raise ValueError("device pool must not be empty")
+        self._slots = [_DeviceSlot(device=d) for d in self.devices]
+        #: EWMA of compose seconds per non-zero, None until the first compose.
+        self._compose_s_per_nnz: float | None = None
+
+    # ------------------------------------------------------------------
+    def estimate_compose_s(self, nnz: int) -> float | None:
+        """Predicted full-pipeline composition overhead for an ``nnz``-sized
+        matrix, from this server's own compose history (None = no history
+        yet; admission control then admits optimistically)."""
+        if self._compose_s_per_nnz is None:
+            return None
+        return self._compose_s_per_nnz * max(1, nnz)
+
+    def _observe_compose(self, nnz: int, overhead_s: float) -> None:
+        rate = overhead_s / max(1, nnz)
+        if self._compose_s_per_nnz is None:
+            self._compose_s_per_nnz = rate
+        else:
+            a = self.overhead_ewma_alpha
+            self._compose_s_per_nnz = a * rate + (1 - a) * self._compose_s_per_nnz
+
+    @staticmethod
+    def _canonical(matrix: sp.spmatrix | np.ndarray) -> sp.csr_matrix:
+        """Canonicalize once per request; already-canonical float32 CSR
+        (everything the generators and workload produce) passes through."""
+        if sp.issparse(matrix) and matrix.format == "csr" and matrix.dtype == VALUE_DTYPE:
+            return matrix
+        return as_csr(matrix)
+
+    @staticmethod
+    def _fallback_plan(A: sp.csr_matrix) -> ComposePlan:
+        tb = time.perf_counter()
+        fmt = CSRFormat.from_csr(A)
+        build_s = time.perf_counter() - tb
+        return ComposePlan(
+            use_cell=False,
+            fmt=fmt,
+            kernel=RowSplitCSRSpMM(),
+            num_partitions=1,
+            overhead=OverheadBreakdown(0.0, 0.0, 0.0, build_s),
+        )
+
+    def _pick_device(self) -> int:
+        return min(range(len(self._slots)), key=lambda i: self._slots[i].busy_s)
+
+    # ------------------------------------------------------------------
+    def serve(self, request: SpMMRequest) -> SpMMResponse:
+        """Serve one request; every path updates :attr:`metrics`."""
+        m = self.metrics
+        m.requests += 1
+        t0 = time.perf_counter()
+        A = self._canonical(request.matrix)
+        key = plan_key(fingerprint_csr(A), request.J)
+
+        degraded = False
+        entry = self.cache.get(key)
+        if entry is not None:
+            m.cache_hits += 1
+            m.compose_saved_s += entry.compose_overhead_s
+            plan = entry.plan
+            overhead_s = time.perf_counter() - t0
+        else:
+            m.cache_misses += 1
+            estimate = self.estimate_compose_s(A.nnz)
+            deadline = request.deadline_ms
+            if deadline is not None and estimate is not None and estimate * 1e3 > deadline:
+                plan = self._fallback_plan(A)
+                degraded = True
+                m.degraded += 1
+                overhead_s = time.perf_counter() - t0
+                # degraded plans are intentionally NOT cached: a later
+                # best-effort request for the same matrix should get the
+                # full pipeline, not a pinned fallback.
+            else:
+                plan = self.liteform.compose_csr(A, request.J)
+                self._observe_compose(A.nnz, plan.overhead.total_s)
+                overhead_s = time.perf_counter() - t0
+                m.compose_spent_s += plan.overhead.total_s
+                self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
+
+        slot_index = self._pick_device()
+        slot = self._slots[slot_index]
+        C: np.ndarray | None = None
+        measurement: Measurement | None = None
+        failed = False
+        try:
+            if request.B is not None:
+                C, measurement = plan.kernel.run(plan.fmt, request.B, slot.device)
+            else:
+                measurement = plan.kernel.measure(plan.fmt, request.J, slot.device)
+        except SimulatedOOMError:
+            failed = True
+            m.failed += 1
+        exec_ms = measurement.time_ms if measurement is not None else 0.0
+        slot.busy_s += exec_ms * 1e-3
+        slot.requests += 1
+
+        overhead_ms = overhead_s * 1e3
+        deadline_missed = (
+            request.deadline_ms is not None and overhead_ms > request.deadline_ms
+        )
+        if deadline_missed:
+            m.deadline_misses += 1
+        latency_ms = overhead_ms + exec_ms
+        m.exec_ms.add(exec_ms)
+        m.total_ms.add(latency_ms)
+        return SpMMResponse(
+            C=C,
+            measurement=measurement,
+            plan=plan,
+            key=key,
+            cache_hit=entry is not None,
+            degraded=degraded,
+            deadline_missed=deadline_missed,
+            failed=failed,
+            device_index=slot_index,
+            compose_overhead_s=overhead_s,
+            latency_ms=latency_ms,
+        )
+
+    def replay(self, requests: list[SpMMRequest]) -> ServerMetrics:
+        """Serve a whole workload in order and return the scoreboard."""
+        for request in requests:
+            self.serve(request)
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Merged metrics + cache + device-pool view (JSON-friendly)."""
+        out = self.metrics.snapshot()
+        out["cache"] = self.cache.stats()
+        out["devices"] = [
+            {"index": i, "busy_s": s.busy_s, "requests": s.requests}
+            for i, s in enumerate(self._slots)
+        ]
+        return out
+
+    def report(self) -> str:
+        """Plain-text report: metrics, cache, and device utilization."""
+        c = self.cache.stats()
+        lines = [
+            self.metrics.report(),
+            f"cache entries       {c['entries']} "
+            f"({c['bytes'] / 2**20:.1f}/{c['max_bytes'] / 2**20:.1f} MiB, "
+            f"{c['evictions']} evictions, {c['rejected']} rejected)",
+        ]
+        for i, s in enumerate(self._slots):
+            lines.append(
+                f"device[{i}]           {s.requests} requests, "
+                f"{s.busy_s * 1e3:.3f} ms simulated busy"
+            )
+        return "\n".join(lines)

@@ -1,6 +1,5 @@
 """Additional CLI coverage (compare subcommand, argument handling)."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main as cli_main
@@ -49,3 +48,35 @@ class TestComposeFallback:
         # small --train-size keeps this quick; exercises the training path
         assert cli_main(["compose", "gnn:citeseer", "--train-size", "4", "-J", "32"]) == 0
         assert "use_cell" in capsys.readouterr().out
+
+
+class TestCompareOOMReference:
+    def test_oom_reference_prints_dashes(self, capsys, models_path, tmp_path, monkeypatch):
+        """Regression: if the cuSPARSE reference OOMs, the speedup column
+        must print '-' instead of inf/garbage ratios."""
+        import repro.cli as cli
+        from repro.gpu.device import SimulatedOOMError
+
+        real_make = cli.make_baseline
+
+        class OOMSystem:
+            name = "cusparse"
+
+            def prepare(self, A, J, device):
+                raise SimulatedOOMError(10**12, 16 * 2**30)
+
+        def fake_make(name):
+            return OOMSystem() if name == "cusparse" else real_make(name)
+
+        monkeypatch.setattr(cli, "make_baseline", fake_make)
+        A = power_law_graph(300, 5, seed=2)
+        mtx = tmp_path / "a.mtx"
+        write_matrix_market(A, mtx)
+        assert cli.main(["compare", str(mtx), "--models", str(models_path), "-J", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "OOM" in out
+        assert "inf" not in out
+        # every non-reference row shows '-' in the vs_cusparse column
+        for line in out.splitlines():
+            if line.startswith(("sputnik", "liteform")):
+                assert "-" in line.split()[2] or line.split()[2] == "-"

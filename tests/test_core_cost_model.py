@@ -8,7 +8,7 @@ from repro.core import matrix_cost_profiles, total_cost
 from repro.core.cost_model import DEFAULT_ATOMIC_WEIGHT, PartitionCostProfile, bucket_cost
 from repro.formats import CELLFormat
 from repro.formats.base import as_csr
-from repro.matrices import mixture_matrix, power_law_graph
+from repro.matrices import power_law_graph
 import scipy.sparse as sp
 
 

@@ -166,3 +166,35 @@ class TestFeatureExtractors:
     def test_invalid_J(self, matrix_suite):
         with pytest.raises(ValueError):
             partition_features(matrix_suite["tiny"], J=0)
+
+
+class TestComposePlanDefaults:
+    def test_default_overheads_do_not_alias(self):
+        """Regression: the overhead default must be a fresh instance per
+        plan, not one shared OverheadBreakdown object."""
+        from repro.core.pipeline import ComposePlan
+        from repro.formats import CSRFormat
+        from repro.kernels import RowSplitCSRSpMM
+
+        A = power_law_graph(50, 3, seed=1)
+        a = ComposePlan(use_cell=False, fmt=CSRFormat.from_csr(A),
+                        kernel=RowSplitCSRSpMM(), num_partitions=1)
+        b = ComposePlan(use_cell=False, fmt=CSRFormat.from_csr(A),
+                        kernel=RowSplitCSRSpMM(), num_partitions=1)
+        assert a.overhead is not b.overhead
+        assert a.max_widths is not b.max_widths
+        assert a.overhead.total_s == 0.0
+
+    def test_compose_csr_skips_revalidation_but_matches_compose(self, trained):
+        lf, _ = trained
+        A = power_law_graph(500, 8, seed=21)
+        via_compose = lf.compose(A, 32)
+        via_csr = lf.compose_csr(A, 32)
+        assert via_compose.use_cell == via_csr.use_cell
+        assert via_compose.num_partitions == via_csr.num_partitions
+        assert via_compose.max_widths == via_csr.max_widths
+
+    def test_compose_csr_validates_J(self, trained):
+        lf, _ = trained
+        with pytest.raises(ValueError):
+            lf.compose_csr(power_law_graph(50, 3, seed=1), 0)

@@ -97,6 +97,11 @@ class TestModuleInventory:
         "repro.baselines.registry",
         "repro.baselines.taxonomy",
         "repro.baselines.autoselect",
+        "repro.serve.fingerprint",
+        "repro.serve.plan_cache",
+        "repro.serve.metrics",
+        "repro.serve.server",
+        "repro.serve.workload",
         "repro.bench.harness",
         "repro.bench.reporting",
         "repro.bench.ascii_plot",

@@ -6,7 +6,6 @@ import scipy.sparse as sp
 
 from repro.formats import CELLFormat, CSRFormat, ELLFormat
 from repro.formats.base import as_csr
-from repro.gpu import SimulatedDevice
 from repro.kernels import CELLSpMM, RowSplitCSRSpMM, SputnikSpMM, spmm_reference
 from repro.core import matrix_cost_profiles, build_buckets
 

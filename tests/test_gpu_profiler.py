@@ -1,6 +1,5 @@
 """Tests for the kernel profiler."""
 
-import numpy as np
 import pytest
 
 from repro.formats import CELLFormat, CSRFormat

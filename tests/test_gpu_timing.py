@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.gpu import GPUSpec, KernelStats, SimulatedDevice, TimingModel, V100
+from repro.gpu import KernelStats, SimulatedDevice, TimingModel, V100
 from repro.gpu.device import SimulatedOOMError
 
 

@@ -6,7 +6,7 @@ import pytest
 from repro.baselines.stile import HybridPanelFormat, HybridPanelSpMM, STileBaseline
 from repro.formats import CSRFormat, CELLFormat
 from repro.kernels import CELLSpMM, RowSplitCSRSpMM, SputnikSpMM, TacoSpMM
-from repro.kernels.base import DEFAULT_WAVE_BLOCKS, wave_unique_refs
+from repro.kernels.base import wave_unique_refs
 from repro.kernels.taco_spmm import NNZ_PER_WARP_CHOICES, WARPS_PER_BLOCK_CHOICES, TacoSchedule
 from repro.matrices import community_graph, power_law_graph, uniform_random_matrix
 

@@ -1,0 +1,124 @@
+"""Plan-cache LRU/byte-budget behaviour and spill/warm-start round trips."""
+
+import pickle
+
+import pytest
+
+from repro.core import LiteForm, generate_training_data
+from repro.matrices import SuiteSparseLikeCollection, power_law_graph
+from repro.serve import PlanCache
+from repro.serve.plan_cache import CACHE_MAGIC
+
+
+@pytest.fixture(scope="module")
+def liteform():
+    coll = SuiteSparseLikeCollection(size=6, max_rows=2500, seed=77)
+    return LiteForm().fit(generate_training_data(coll, J_values=(32,)))
+
+
+@pytest.fixture(scope="module")
+def plans(liteform):
+    out = {}
+    for i in range(4):
+        A = power_law_graph(300 + 100 * i, 6, seed=i)
+        # force the fixed-format path so footprints grow monotonically with
+        # the matrix size (CELL padding would make eviction math fragile)
+        out[f"k{i}"] = liteform.compose(A, 32, force_cell=False)
+    return out
+
+
+class TestLRU:
+    def test_hit_miss_counters(self, plans):
+        cache = PlanCache(max_bytes=1 << 30)
+        assert cache.get("k0") is None
+        cache.put("k0", plans["k0"], compose_overhead_s=0.5)
+        entry = cache.get("k0")
+        assert entry is not None and entry.plan is plans["k0"]
+        assert entry.compose_overhead_s == 0.5
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_under_byte_budget(self, plans):
+        sizes = {k: p.fmt.footprint_bytes for k, p in plans.items()}
+        # budget fits exactly the two smallest plans of k0..k2
+        budget = sizes["k0"] + sizes["k1"]
+        cache = PlanCache(max_bytes=budget)
+        cache.put("k0", plans["k0"])
+        cache.put("k1", plans["k1"])
+        assert cache.evictions == 0 and len(cache) == 2
+        cache.put("k2", plans["k2"])
+        assert cache.evictions >= 1
+        assert cache.total_bytes <= budget
+        assert "k2" in cache  # the fresh entry is resident
+        assert "k0" not in cache  # the least recently used went first
+
+    def test_get_refreshes_lru_position(self, plans):
+        sizes = {k: p.fmt.footprint_bytes for k, p in plans.items()}
+        cache = PlanCache(max_bytes=sizes["k0"] + sizes["k1"] + sizes["k2"])
+        for k in ("k0", "k1", "k2"):
+            cache.put(k, plans[k])
+        cache.get("k0")  # k1 becomes the LRU victim
+        cache.put("k3", plans["k3"])
+        assert "k0" in cache
+        assert "k1" not in cache
+
+    def test_oversized_plan_rejected(self, plans):
+        cache = PlanCache(max_bytes=1)
+        assert not cache.put("k0", plans["k0"])
+        assert cache.rejected == 1 and len(cache) == 0
+
+    def test_refresh_same_key_does_not_double_count(self, plans):
+        cache = PlanCache(max_bytes=1 << 30)
+        cache.put("k0", plans["k0"])
+        cache.put("k0", plans["k0"])
+        assert len(cache) == 1
+        assert cache.total_bytes == plans["k0"].fmt.footprint_bytes
+
+    def test_stats_keys(self, plans):
+        cache = PlanCache(max_bytes=1 << 30)
+        cache.put("k0", plans["k0"])
+        s = cache.stats()
+        for key in ("entries", "bytes", "max_bytes", "hits", "misses",
+                    "evictions", "rejected", "hit_rate"):
+            assert key in s
+
+
+class TestSpill:
+    def test_save_load_round_trip(self, tmp_path, plans):
+        cache = PlanCache(max_bytes=1 << 30)
+        for k, p in plans.items():
+            cache.put(k, p, compose_overhead_s=0.1)
+        path = tmp_path / "cache.pkl"
+        cache.save(path)
+        warmed = PlanCache.load(path)
+        assert set(warmed.keys()) == set(plans)
+        assert warmed.hits == 0 and warmed.misses == 0  # warm-start isn't traffic
+        entry = warmed.get("k1")
+        assert entry.compose_overhead_s == pytest.approx(0.1)
+        assert entry.plan.fmt.to_csr().nnz == plans["k1"].fmt.to_csr().nnz
+
+    def test_load_rejects_non_bundle(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        with path.open("wb") as fh:
+            pickle.dump([1, 2, 3], fh)
+        with pytest.raises(ValueError, match="not a saved plan-cache bundle"):
+            PlanCache.load(path)
+
+    def test_load_rejects_wrong_magic(self, tmp_path):
+        path = tmp_path / "old.pkl"
+        with path.open("wb") as fh:
+            pickle.dump({"magic": "repro-plancache-v0", "entries": []}, fh)
+        with pytest.raises(ValueError, match="incompatible cache tag"):
+            PlanCache.load(path)
+        assert CACHE_MAGIC != "repro-plancache-v0"
+
+    def test_load_respects_smaller_budget(self, tmp_path, plans):
+        cache = PlanCache(max_bytes=1 << 30)
+        for k, p in plans.items():
+            cache.put(k, p)
+        path = tmp_path / "cache.pkl"
+        cache.save(path)
+        smallest = min(p.fmt.footprint_bytes for p in plans.values())
+        warmed = PlanCache.load(path, max_bytes=smallest)
+        assert warmed.total_bytes <= smallest
+        assert len(warmed) <= 1

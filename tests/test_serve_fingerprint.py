@@ -1,0 +1,92 @@
+"""Fingerprint determinism and collision resistance."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats.base import as_csr
+from repro.matrices import power_law_graph, uniform_random_matrix
+from repro.serve import fingerprint_csr, plan_key
+
+
+class TestDeterminism:
+    def test_same_matrix_same_fingerprint(self):
+        A = power_law_graph(500, 8, seed=1)
+        assert fingerprint_csr(A).key == fingerprint_csr(A).key
+
+    def test_copy_same_fingerprint(self):
+        A = power_law_graph(500, 8, seed=1)
+        assert fingerprint_csr(A).key == fingerprint_csr(A.copy()).key
+
+    def test_key_embeds_shape_and_nnz(self):
+        A = uniform_random_matrix(64, 48, 0.05, seed=2)
+        fp = fingerprint_csr(A)
+        assert fp.rows == 64 and fp.cols == 48 and fp.nnz == A.nnz
+        assert fp.key.endswith(f"-64x48-{A.nnz}")
+
+    def test_sampled_large_array_is_deterministic(self):
+        A = power_law_graph(3_000, 20, seed=3)
+        small_budget = 4096  # forces chunk sampling on indices/data
+        a = fingerprint_csr(A, sample_budget_bytes=small_budget)
+        b = fingerprint_csr(A.copy(), sample_budget_bytes=small_budget)
+        assert a.key == b.key
+
+
+class TestCollisionResistance:
+    def test_row_permutation_changes_fingerprint(self):
+        A = power_law_graph(400, 6, seed=4)
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(A.shape[0])
+        P = as_csr(A[perm])
+        assert A.nnz == P.nnz and A.shape == P.shape
+        assert fingerprint_csr(A).key != fingerprint_csr(P).key
+
+    def test_column_permutation_changes_fingerprint(self):
+        A = uniform_random_matrix(200, 200, 0.05, seed=5)
+        perm = np.random.default_rng(1).permutation(A.shape[1])
+        P = as_csr(A[:, perm])
+        assert fingerprint_csr(A).key != fingerprint_csr(P).key
+
+    def test_value_change_changes_fingerprint(self):
+        A = power_law_graph(300, 5, seed=6)
+        B = A.copy()
+        B.data = B.data.copy()
+        B.data[0] += 1.0
+        assert fingerprint_csr(A).key != fingerprint_csr(B).key
+
+    def test_value_change_ignored_when_pattern_only(self):
+        A = power_law_graph(300, 5, seed=6)
+        B = A.copy()
+        B.data = B.data.copy()
+        B.data[0] += 1.0
+        a = fingerprint_csr(A, include_values=False)
+        b = fingerprint_csr(B, include_values=False)
+        assert a.key == b.key
+
+    def test_moved_nonzero_changes_fingerprint(self):
+        dense = np.zeros((10, 10), dtype=np.float32)
+        dense[2, 3] = 1.0
+        other = np.zeros((10, 10), dtype=np.float32)
+        other[2, 4] = 1.0
+        assert (
+            fingerprint_csr(as_csr(dense)).key
+            != fingerprint_csr(as_csr(other)).key
+        )
+
+
+class TestValidation:
+    def test_rejects_non_csr(self):
+        A = sp.coo_matrix(np.eye(4, dtype=np.float32))
+        with pytest.raises(TypeError):
+            fingerprint_csr(A)
+
+    def test_rejects_tiny_budget(self):
+        A = power_law_graph(50, 3, seed=7)
+        with pytest.raises(ValueError):
+            fingerprint_csr(A, sample_budget_bytes=8)
+
+    def test_plan_key_varies_with_J(self):
+        fp = fingerprint_csr(power_law_graph(100, 4, seed=8))
+        assert plan_key(fp, 32) != plan_key(fp, 128)
+        with pytest.raises(ValueError):
+            plan_key(fp, 0)

@@ -1,0 +1,145 @@
+"""SpMMServer behaviour: hits, numerics, admission control, device pool."""
+
+import numpy as np
+import pytest
+
+from repro.core import LiteForm, generate_training_data
+from repro.kernels import spmm_reference
+from repro.matrices import SuiteSparseLikeCollection, power_law_graph
+from repro.serve import PlanCache, SpMMRequest, SpMMServer
+
+
+@pytest.fixture(scope="module")
+def liteform():
+    coll = SuiteSparseLikeCollection(size=6, max_rows=2500, seed=11)
+    return LiteForm().fit(generate_training_data(coll, J_values=(32,)))
+
+
+@pytest.fixture()
+def server(liteform):
+    return SpMMServer(liteform=liteform, cache=PlanCache(max_bytes=1 << 30))
+
+
+def _request(seed=1, n=400, J=32, deadline_ms=None):
+    A = power_law_graph(n, 6, seed=seed)
+    B = np.random.default_rng(seed).standard_normal((A.shape[1], J)).astype(np.float32)
+    return SpMMRequest(matrix=A, B=B, J=J, deadline_ms=deadline_ms)
+
+
+class TestCaching:
+    def test_second_request_hits(self, server):
+        req = _request()
+        first = server.serve(req)
+        second = server.serve(req)
+        assert not first.cache_hit and second.cache_hit
+        assert server.metrics.cache_hits == 1 and server.metrics.cache_misses == 1
+
+    def test_hit_is_numerically_identical_to_fresh_compose(self, server, liteform):
+        req = _request(seed=3)
+        server.serve(req)
+        hit = server.serve(req)
+        assert hit.cache_hit
+        fresh_plan = liteform.compose(req.matrix, req.J)
+        C_fresh, _ = fresh_plan.kernel.run(fresh_plan.fmt, req.B, liteform.device)
+        np.testing.assert_array_equal(hit.C, C_fresh)
+        np.testing.assert_allclose(
+            hit.C, spmm_reference(req.matrix, req.B), rtol=1e-4, atol=1e-4
+        )
+
+    def test_hit_credits_composition_time_saved(self, server):
+        req = _request(seed=4)
+        miss = server.serve(req)
+        assert server.metrics.compose_saved_s == 0.0
+        server.serve(req)
+        assert server.metrics.compose_saved_s == pytest.approx(
+            miss.plan.overhead.total_s
+        )
+
+    def test_different_J_is_a_different_plan(self, server):
+        A = power_law_graph(300, 5, seed=5)
+        r32 = server.serve(SpMMRequest(matrix=A, B=None, J=32))
+        r64 = server.serve(SpMMRequest(matrix=A, B=None, J=64))
+        assert not r64.cache_hit
+        assert r32.key != r64.key
+
+    def test_measure_only_request(self, server):
+        req = _request(seed=6)
+        resp = server.serve(SpMMRequest(matrix=req.matrix, B=None, J=32))
+        assert resp.C is None
+        assert resp.measurement is not None and resp.measurement.time_s > 0
+
+
+class TestAdmissionControl:
+    def test_no_history_admits_optimistically(self, server):
+        resp = server.serve(_request(seed=7, deadline_ms=1e-9))
+        assert not resp.degraded  # nothing to estimate from yet
+        assert resp.plan.overhead.total_s > 0
+
+    def test_deadline_fallback_triggers_and_is_counted(self, server):
+        server.serve(_request(seed=8))  # prime the overhead estimate
+        resp = server.serve(_request(seed=9, deadline_ms=1e-9))
+        assert resp.degraded
+        assert not resp.plan.use_cell
+        assert type(resp.plan.fmt).__name__ == "CSRFormat"
+        assert server.metrics.degraded == 1
+        # the numeric answer is still right on the degraded path
+        req = _request(seed=9, deadline_ms=1e-9)
+        np.testing.assert_allclose(
+            resp.C, spmm_reference(req.matrix, req.B), rtol=1e-4, atol=1e-4
+        )
+
+    def test_degraded_plan_is_not_cached(self, server):
+        server.serve(_request(seed=8))
+        degraded = server.serve(_request(seed=10, deadline_ms=1e-9))
+        assert degraded.degraded
+        best_effort = server.serve(_request(seed=10))
+        assert not best_effort.cache_hit  # fallback was not pinned
+        assert best_effort.plan.overhead.total_s > 0
+
+    def test_generous_deadline_admits(self, server):
+        server.serve(_request(seed=8))
+        resp = server.serve(_request(seed=11, deadline_ms=60_000.0))
+        assert not resp.degraded and not resp.deadline_missed
+
+    def test_estimate_tracks_history(self, server):
+        assert server.estimate_compose_s(1000) is None
+        resp = server.serve(_request(seed=12))
+        est = server.estimate_compose_s(resp.plan.fmt.nnz)
+        assert est is not None and est > 0
+
+
+class TestDevicePool:
+    def test_requests_spread_over_devices(self, liteform):
+        server = SpMMServer(liteform=liteform, num_devices=3)
+        for seed in range(6):
+            server.serve(_request(seed=seed, n=300))
+        counts = [s["requests"] for s in server.snapshot()["devices"]]
+        assert sum(counts) == 6
+        assert all(c >= 1 for c in counts)  # least-loaded placement spreads
+
+    def test_rejects_empty_pool(self, liteform):
+        with pytest.raises(ValueError):
+            SpMMServer(liteform=liteform, num_devices=0)
+
+
+class TestMetricsSnapshot:
+    def test_snapshot_fields(self, server):
+        server.serve(_request(seed=13))
+        snap = server.snapshot()
+        for key in ("requests", "hit_rate", "degraded", "deadline_misses",
+                    "compose_spent_s", "compose_saved_s", "exec_ms",
+                    "total_ms", "cache", "devices"):
+            assert key in snap, key
+        for p in ("p50", "p95", "p99"):
+            assert p in snap["exec_ms"] and p in snap["total_ms"]
+
+    def test_report_is_text(self, server):
+        server.serve(_request(seed=14))
+        text = server.report()
+        assert "hit rate" in text and "device[0]" in text
+
+    def test_latency_includes_compose_and_exec(self, server):
+        resp = server.serve(_request(seed=15))
+        assert resp.latency_ms == pytest.approx(
+            resp.compose_overhead_s * 1e3 + resp.measurement.time_ms
+        )
