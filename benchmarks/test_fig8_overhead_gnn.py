@@ -10,7 +10,7 @@ import pytest
 
 from repro.baselines import LiteFormBaseline, SparseTIRBaseline, STileBaseline
 from repro.bench import BenchTable, geomean
-from repro.bench.harness import scaled_device
+from repro.bench.harness import phase, scaled_device
 
 FIG8_J = 128
 
@@ -20,9 +20,12 @@ def fig8_results(gnn_graphs, liteform):
     out = {}
     for graph, A in gnn_graphs.items():
         dev = scaled_device(graph)
-        o_tir = SparseTIRBaseline().prepare(A, FIG8_J, dev).construction_overhead_s
-        o_stile = STileBaseline().prepare(A, FIG8_J, dev).construction_overhead_s
-        o_lf = LiteFormBaseline(liteform).prepare(A, FIG8_J, dev).construction_overhead_s
+        with phase("fig8:prepare", graph=graph, system="sparsetir"):
+            o_tir = SparseTIRBaseline().prepare(A, FIG8_J, dev).construction_overhead_s
+        with phase("fig8:prepare", graph=graph, system="stile"):
+            o_stile = STileBaseline().prepare(A, FIG8_J, dev).construction_overhead_s
+        with phase("fig8:prepare", graph=graph, system="liteform"):
+            o_lf = LiteFormBaseline(liteform).prepare(A, FIG8_J, dev).construction_overhead_s
         out[graph] = {"sparsetir": o_tir, "stile": o_stile, "liteform": o_lf}
     return out
 

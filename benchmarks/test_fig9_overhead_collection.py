@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import LiteFormBaseline, SparseTIRBaseline
-from repro.bench import BenchTable, geomean
+from repro.bench import BenchTable, geomean, phase
 
 FIG9_J = 128
 
@@ -15,8 +15,10 @@ def fig9_results(collection, liteform, device):
     out = []
     for entry in collection:
         A = entry.matrix
-        o_tir = SparseTIRBaseline().prepare(A, FIG9_J, device).construction_overhead_s
-        o_lf = LiteFormBaseline(liteform).prepare(A, FIG9_J, device).construction_overhead_s
+        with phase("fig9:prepare", matrix=entry.name, system="sparsetir"):
+            o_tir = SparseTIRBaseline().prepare(A, FIG9_J, device).construction_overhead_s
+        with phase("fig9:prepare", matrix=entry.name, system="liteform"):
+            o_lf = LiteFormBaseline(liteform).prepare(A, FIG9_J, device).construction_overhead_s
         out.append((entry.name, entry.num_rows, o_tir, o_lf))
     return out
 

@@ -8,17 +8,22 @@ This demo:
 
 1. generates a seeded Zipf(1.1) workload over a small matrix pool,
 2. replays it through :class:`repro.serve.SpMMServer` on two simulated
-   devices,
+   devices — under a :class:`repro.obs.Tracer`, so every request leaves
+   nested spans (cache lookup, admission, compose stages, execution),
 3. replays a latency-sensitive tier with a composition deadline, showing
    admission control degrading to the CSR fallback instead of blocking,
-4. prints the metrics snapshot.
+4. prints the metrics snapshot, a span flame summary, and writes a
+   Chrome trace (open serving_demo_trace.json in https://ui.perfetto.dev).
 
 Run:  python examples/serving_demo.py
 """
 
 from repro.core import LiteForm, generate_training_data
 from repro.matrices import SuiteSparseLikeCollection
+from repro.obs import tracing
 from repro.serve import PlanCache, SpMMServer, WorkloadSpec, generate_workload
+
+TRACE_PATH = "serving_demo_trace.json"
 
 
 def main() -> None:
@@ -37,9 +42,18 @@ def main() -> None:
     server = SpMMServer(
         liteform=lf, cache=PlanCache(max_bytes=128 * 2**20), num_devices=2
     )
-    server.replay(generate_workload(spec))
+    with tracing() as tracer:
+        server.replay(generate_workload(spec))
     print("\n--- best-effort tier ---")
     print(server.report())
+
+    # ------------------------------------------------------------------
+    # Where did the time go?  The tracer recorded a span per request with
+    # children for cache lookup, compose stages, and kernel launches.
+    out = tracer.write(TRACE_PATH)
+    print(f"\n--- trace: {len(tracer.spans)} spans "
+          f"({tracer.coverage():.0%} of wall time), written to {out} ---")
+    print(tracer.flame_summary())
 
     # ------------------------------------------------------------------
     # A latency-sensitive tier: half the requests carry a 0.5 ms composition

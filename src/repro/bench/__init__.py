@@ -4,6 +4,7 @@ from repro.bench.harness import (
     BENCH_J_VALUES,
     COLLECTION_SIZE,
     TRAIN_SIZE,
+    phase,
     scaled_device,
 )
 from repro.bench.reporting import (
@@ -19,5 +20,6 @@ __all__ = [
     "BENCH_J_VALUES",
     "COLLECTION_SIZE",
     "TRAIN_SIZE",
+    "phase",
     "scaled_device",
 ]

@@ -7,6 +7,7 @@ import os
 from repro.gpu import SimulatedDevice
 from repro.gpu.device import V100
 from repro.matrices import GNN_DATASETS
+from repro.obs import get_tracer
 
 #: Matrices in the Fig. 7/9 collection sweeps.
 COLLECTION_SIZE = int(os.environ.get("REPRO_BENCH_COLLECTION", "48"))
@@ -15,6 +16,17 @@ TRAIN_SIZE = int(os.environ.get("REPRO_BENCH_TRAIN", "150"))
 #: Dense widths swept in the figures.  The paper sweeps {32,64,128,256,512};
 #: three representative points bound the benchmark runtime (EXPERIMENTS.md).
 BENCH_J_VALUES = (32, 128, 512)
+
+
+def phase(name: str, **attributes: object):
+    """Span a named benchmark phase on the global tracer.
+
+    Figure benchmarks wrap their stages (training, per-system prepare,
+    measurement sweeps) in ``with phase("fig8:prepare", system=name):`` so
+    a traced run (``repro.obs.tracing``) attributes where the harness
+    spends its wall time.  A no-op when tracing is disabled.
+    """
+    return get_tracer().span(f"phase:{name}", **attributes)
 
 
 def scaled_device(dataset: str) -> SimulatedDevice:

@@ -16,7 +16,15 @@ Commands
     report.
 ``info``
     Print format statistics (padding, footprint) for every format on the
-    input matrix.
+    input matrix (``--profile`` adds per-kernel roofline profiles).
+``stats``
+    Replay a short workload against the process-wide metrics registry and
+    dump it (Prometheus text exposition, or JSON with ``--json``).
+
+``compose``, ``compare``, and ``serve`` accept ``--trace out.json`` to
+record nested spans of the run and export them as Chrome trace-event
+JSON (open in chrome://tracing or https://ui.perfetto.dev); a flame
+summary is printed to stderr.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ import argparse
 import json
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -42,11 +51,13 @@ from repro.formats import (
 )
 from repro.gpu import SimulatedDevice
 from repro.gpu.device import SimulatedOOMError
+from repro.gpu.profiler import profile
 from repro.matrices import (
     SuiteSparseLikeCollection,
     make_gnn_standin,
     read_matrix_market,
 )
+from repro.obs import Tracer, get_registry, get_tracer, set_tracer
 
 
 def _load_matrix(spec: str):
@@ -60,6 +71,29 @@ def _load_matrix(spec: str):
     return read_matrix_market(path)
 
 
+@contextmanager
+def _maybe_trace(args):
+    """Install a tracer for the command body when ``--trace`` was given;
+    on exit, write the Chrome trace JSON and print a flame summary."""
+    path = getattr(args, "trace", None)
+    if not path:
+        yield None
+        return
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+        out = tracer.write(path)
+        print(
+            f"trace: {len(tracer.spans)} spans, {tracer.coverage():.1%} of "
+            f"wall time covered, written to {out}",
+            file=sys.stderr,
+        )
+        print(tracer.flame_summary(), file=sys.stderr)
+
+
 def _get_liteform(args) -> LiteForm:
     if args.models:
         return load_liteform(args.models)
@@ -71,8 +105,12 @@ def _get_liteform(args) -> LiteForm:
 def cmd_compose(args) -> int:
     A = _load_matrix(args.matrix)
     lf = _get_liteform(args)
-    plan = lf.compose(A, args.J)
-    m = lf.measure(plan, args.J)
+    with _maybe_trace(args):
+        tracer = get_tracer()
+        with tracer.span("compose", matrix=args.matrix):
+            plan = lf.compose(A, args.J)
+        with tracer.span("measure"):
+            m = lf.measure(plan, args.J)
     out = {
         "matrix": {"rows": A.shape[0], "cols": A.shape[1], "nnz": int(A.nnz)},
         "J": args.J,
@@ -98,20 +136,30 @@ def cmd_compare(args) -> int:
     lf = _get_liteform(args)
     device = SimulatedDevice()
     rows = []
-    for name in FIG6_BASELINES:
-        system = make_baseline(name)
-        t0 = time.perf_counter()
-        try:
-            prep = system.prepare(A, args.J, device)
-            t = system.measure(prep, args.J, device).time_s
-            rows.append((name, t, prep.construction_overhead_s))
-        except SimulatedOOMError:
-            rows.append((name, float("inf"), float("nan")))
-        if time.perf_counter() - t0 > 300:  # pragma: no cover - safety valve
-            print(f"warning: {name} took very long", file=sys.stderr)
-    prep = LiteFormBaseline(lf).prepare(A, args.J, device)
-    rows.append(("liteform", prep.kernel.measure(prep.fmt, args.J, device).time_s,
-                 prep.construction_overhead_s))
+    profiles: dict[str, str] = {}
+    want_profile = getattr(args, "profile", False)
+    with _maybe_trace(args):
+        tracer = get_tracer()
+        for name in FIG6_BASELINES:
+            system = make_baseline(name)
+            t0 = time.perf_counter()
+            try:
+                with tracer.span("baseline", system=name):
+                    prep = system.prepare(A, args.J, device)
+                    m = system.measure(prep, args.J, device)
+                rows.append((name, m.time_s, prep.construction_overhead_s))
+                if want_profile:
+                    profiles[name] = profile(m, device.spec).render()
+            except SimulatedOOMError:
+                rows.append((name, float("inf"), float("nan")))
+            if time.perf_counter() - t0 > 300:  # pragma: no cover - safety valve
+                print(f"warning: {name} took very long", file=sys.stderr)
+        with tracer.span("baseline", system="liteform"):
+            prep = LiteFormBaseline(lf).prepare(A, args.J, device)
+            m = prep.kernel.measure(prep.fmt, args.J, device)
+        rows.append(("liteform", m.time_s, prep.construction_overhead_s))
+        if want_profile:
+            profiles["liteform"] = profile(m, device.spec).render()
     # The reference may itself have OOMed (or be missing entirely); print
     # "-" for the speedup column rather than inf/garbage ratios.
     ref = next((t for n, t, _ in rows if n == "cusparse" and np.isfinite(t)), None)
@@ -121,6 +169,9 @@ def cmd_compare(args) -> int:
         has_ratio = ref is not None and np.isfinite(t) and t > 0
         sp = f"{ref/t:12.2f}" if has_ratio else f"{'-':>12s}"
         print(f"{name:10s} {tt} {sp} {oh:12.4f}")
+    for name, text in profiles.items():
+        print(f"\n-- kernel profile: {name} --")
+        print(text)
     return 0
 
 
@@ -159,11 +210,45 @@ def cmd_serve(args) -> int:
         cache=PlanCache(max_bytes=int(args.cache_mb * 2**20)),
         num_devices=args.devices,
     )
-    server.replay(generate_workload(spec))
+    requests = generate_workload(spec)
+    # The trace region covers exactly the replay, so the exported spans
+    # account for (nearly) all of the traced wall time.
+    with _maybe_trace(args):
+        server.replay(requests)
     if args.json:
         print(json.dumps(server.snapshot(), indent=2))
     else:
         print(server.report())
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Replay a short workload and dump the process-wide metrics registry."""
+    from repro.serve import PlanCache, SpMMServer, WorkloadSpec, generate_workload
+    from repro.serve.metrics import ServerMetrics
+
+    registry = get_registry()
+    lf = _get_liteform(args)
+    spec = WorkloadSpec(
+        num_requests=args.requests,
+        num_matrices=args.matrices,
+        zipf_s=args.zipf,
+        J_choices=(32, 64, 128),
+        max_rows=args.max_rows,
+        with_operands=False,
+        seed=args.seed,
+    )
+    server = SpMMServer(
+        liteform=lf,
+        cache=PlanCache(),
+        metrics=ServerMetrics(registry=registry),
+    )
+    print(f"replaying {spec.num_requests} measure-only requests ...", file=sys.stderr)
+    server.replay(generate_workload(spec))
+    if args.json:
+        print(json.dumps(registry.snapshot(), indent=2))
+    else:
+        print(registry.render_prometheus(), end="")
     return 0
 
 
@@ -184,6 +269,32 @@ def cmd_info(args) -> int:
     ]:
         print(f"{name:18s} {fmt.stored_elements:12d} {fmt.padding_ratio:8.1%} "
               f"{fmt.footprint_bytes / 2**20:9.2f}")
+    if getattr(args, "profile", False):
+        from repro.kernels import (
+            BCSRSpMM,
+            CELLSpMM,
+            ELLSpMM,
+            RowSplitCSRSpMM,
+            SlicedELLSpMM,
+        )
+
+        device = SimulatedDevice()
+        print(f"\nkernel profiles at J={args.J} ({device.spec.name}):")
+        for name, fmt, kernel in [
+            ("CSR row-split", CSRFormat.from_csr(A), RowSplitCSRSpMM()),
+            ("ELL", ELLFormat.from_csr(A), ELLSpMM()),
+            ("Sliced-ELL", SlicedELLFormat.from_csr(A), SlicedELLSpMM()),
+            ("BCSR 8x8", BCSRFormat.from_csr(A, block_shape=(8, 8)), BCSRSpMM()),
+            ("CELL natural", CELLFormat.from_csr(A), CELLSpMM()),
+        ]:
+            print(f"\n-- {name} --")
+            try:
+                m = kernel.measure(fmt, args.J, device)
+            except SimulatedOOMError as e:
+                print(f"OOM: {e}")
+                continue
+            print(f"simulated time:       {m.time_ms:.3f} ms")
+            print(profile(m, device.spec).render())
     return 0
 
 
@@ -198,13 +309,21 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--train-size", type=int, default=16,
                         help="collection size when training ad hoc")
 
+    def add_trace(sp):
+        sp.add_argument("--trace", metavar="PATH",
+                        help="record spans and write Chrome trace-event JSON here")
+
     sp = sub.add_parser("compose", help="compose a format with LiteForm")
     add_common(sp)
     sp.add_argument("--json", action="store_true", help="machine-readable output")
+    add_trace(sp)
     sp.set_defaults(func=cmd_compose)
 
     sp = sub.add_parser("compare", help="run all baselines on the input")
     add_common(sp)
+    sp.add_argument("--profile", action="store_true",
+                    help="print a roofline kernel profile per system")
+    add_trace(sp)
     sp.set_defaults(func=cmd_compare)
 
     sp = sub.add_parser("serve", help="replay a Zipf workload through SpMMServer")
@@ -229,7 +348,24 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--train-size", type=int, default=12,
                     help="collection size when training ad hoc")
     sp.add_argument("--json", action="store_true", help="machine-readable output")
+    add_trace(sp)
     sp.set_defaults(func=cmd_serve)
+
+    sp = sub.add_parser(
+        "stats", help="replay a short workload and dump the metrics registry"
+    )
+    sp.add_argument("--requests", type=int, default=100, help="requests to replay")
+    sp.add_argument("--matrices", type=int, default=12, help="distinct matrices in the pool")
+    sp.add_argument("--zipf", type=float, default=1.1, help="popularity exponent")
+    sp.add_argument("--max-rows", type=int, default=2_000,
+                    help="row cap of the pool matrices")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--models", help="saved LiteForm models (from `train`)")
+    sp.add_argument("--train-size", type=int, default=8,
+                    help="collection size when training ad hoc")
+    sp.add_argument("--json", action="store_true",
+                    help="JSON snapshot instead of Prometheus text exposition")
+    sp.set_defaults(func=cmd_stats)
 
     sp = sub.add_parser("train", help="train and save LiteForm's predictors")
     sp.add_argument("output", help="output path (.pkl)")
@@ -240,6 +376,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("info", help="format statistics for a matrix")
     sp.add_argument("matrix", help=".mtx path or gnn:<name> stand-in")
+    sp.add_argument("-J", type=int, default=128,
+                    help="dense columns for --profile (default 128)")
+    sp.add_argument("--profile", action="store_true",
+                    help="print a roofline kernel profile per format/kernel pair")
     sp.set_defaults(func=cmd_info)
     return p
 

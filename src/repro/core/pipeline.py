@@ -21,6 +21,8 @@ from repro.core.partition_model import PartitionPredictor
 from repro.core.selector import FormatSelector
 from repro.core.training import TrainingData
 from repro.formats.base import SparseFormat, as_csr
+from repro.matrices.features import format_selection_features
+from repro.obs import get_registry, get_tracer
 from repro.formats.bcsr import BCSRFormat
 from repro.formats.cell import CELLFormat
 from repro.formats.csr import CSRFormat
@@ -75,6 +77,26 @@ def _blockwise_occupancy(A: sp.csr_matrix, block: int = 8) -> float:
     return A.nnz / (n_tiles * block * block)
 
 
+#: Pipeline-level instruments on the process-wide registry (created at
+#: import time, Prometheus-client style, so the hot path only increments).
+_COMPOSE_TOTAL = get_registry().counter(
+    "compose_total", "Plans composed by LiteForm.compose_csr"
+)
+_COMPOSE_CELL = get_registry().counter(
+    "compose_cell_total", "Composed plans that selected the CELL format"
+)
+_COMPOSE_OVERHEAD_MS = get_registry().histogram(
+    "compose_overhead_ms", "Wall-clock construction overhead per compose (ms)"
+)
+
+
+def _record_compose(plan: "ComposePlan") -> None:
+    _COMPOSE_TOTAL.inc()
+    if plan.use_cell:
+        _COMPOSE_CELL.inc()
+    _COMPOSE_OVERHEAD_MS.observe(plan.overhead.total_s * 1e3)
+
+
 class LiteForm:
     """Lightweight automatic format composition for SpMM.
 
@@ -118,7 +140,9 @@ class LiteForm:
         ``force_cell`` overrides stage 1 (used by ablations and by Fig. 7,
         which compares composed CELL directly against tuned SparseTIR).
         """
-        return self.compose_csr(as_csr(A), J, force_cell=force_cell)
+        with get_tracer().span("canonicalize"):
+            A = as_csr(A)
+        return self.compose_csr(A, J, force_cell=force_cell)
 
     def compose_csr(
         self, A: sp.csr_matrix, J: int, force_cell: bool | None = None
@@ -135,51 +159,69 @@ class LiteForm:
             raise RuntimeError("LiteForm.fit must run before compose")
         if J < 1:
             raise ValueError(f"J must be >= 1, got {J}")
+        tracer = get_tracer()
 
         t0 = time.perf_counter()
-        use_cell = force_cell if force_cell is not None else self.selector.predict(A)
+        if force_cell is not None:
+            use_cell = force_cell
+        else:
+            with tracer.span("features", nnz=A.nnz):
+                feats = format_selection_features(A)[None, :]
+            with tracer.span("select") as sel_span:
+                use_cell = bool(self.selector.predict_features(feats)[0])
+                sel_span.set(use_cell=use_cell)
+            # predict() would have timed features + inference itself; keep
+            # the selector's public timing attribute behaving the same.
+            self.selector.last_inference_s = time.perf_counter() - t0
         t1 = time.perf_counter()
 
         if not use_cell:
-            if _blockwise_occupancy(A) >= self.bcsr_occupancy_threshold:
-                fmt: SparseFormat = BCSRFormat.from_csr(A, block_shape=(8, 8))
-                kernel: SpMMKernel = BCSRSpMM()
-            else:
-                fmt = CSRFormat.from_csr(A)
-                kernel = RowSplitCSRSpMM()
+            with tracer.span("build", format="fixed"):
+                if _blockwise_occupancy(A) >= self.bcsr_occupancy_threshold:
+                    fmt: SparseFormat = BCSRFormat.from_csr(A, block_shape=(8, 8))
+                    kernel: SpMMKernel = BCSRSpMM()
+                else:
+                    fmt = CSRFormat.from_csr(A)
+                    kernel = RowSplitCSRSpMM()
             t2 = time.perf_counter()
-            return ComposePlan(
+            plan = ComposePlan(
                 use_cell=False,
                 fmt=fmt,
                 kernel=kernel,
                 num_partitions=1,
                 overhead=OverheadBreakdown(t1 - t0, 0.0, 0.0, t2 - t1),
             )
+            _record_compose(plan)
+            return plan
 
-        num_partitions = (
-            self.partition_model.predict(A, J) if self._fitted else 1
-        )
+        with tracer.span("partition", J=J) as part_span:
+            num_partitions = (
+                self.partition_model.predict(A, J) if self._fitted else 1
+            )
+            part_span.set(num_partitions=num_partitions)
         t2 = time.perf_counter()
 
-        profiles = matrix_cost_profiles(A, num_partitions)
-        results = [
-            build_buckets(p, J, num_partitions=num_partitions)
-            if p.num_nonempty_rows
-            else None
-            for p in profiles
-        ]
-        widths = [1 << r.max_exp if r else 1 for r in results]
-        predicted = sum(r.cost for r in results if r)
+        with tracer.span("tune_width", num_partitions=num_partitions):
+            profiles = matrix_cost_profiles(A, num_partitions)
+            results = [
+                build_buckets(p, J, num_partitions=num_partitions)
+                if p.num_nonempty_rows
+                else None
+                for p in profiles
+            ]
+            widths = [1 << r.max_exp if r else 1 for r in results]
+            predicted = sum(r.cost for r in results if r)
         t3 = time.perf_counter()
 
-        fmt = CELLFormat.from_csr(
-            A,
-            num_partitions=num_partitions,
-            max_widths=widths,
-            block_multiple=self.block_multiple,
-        )
+        with tracer.span("build", format="CELL"):
+            fmt = CELLFormat.from_csr(
+                A,
+                num_partitions=num_partitions,
+                max_widths=widths,
+                block_multiple=self.block_multiple,
+            )
         t4 = time.perf_counter()
-        return ComposePlan(
+        plan = ComposePlan(
             use_cell=True,
             fmt=fmt,
             kernel=CELLSpMM(),
@@ -188,6 +230,8 @@ class LiteForm:
             overhead=OverheadBreakdown(t1 - t0, t2 - t1, t3 - t2, t4 - t3),
             predicted_cost=predicted,
         )
+        _record_compose(plan)
+        return plan
 
     # ------------------------------------------------------------------
     def run(self, plan: ComposePlan, B: np.ndarray) -> tuple[np.ndarray, Measurement]:

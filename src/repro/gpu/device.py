@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.gpu.stats import KernelStats, Measurement
 from repro.gpu.timing import TimingModel
+from repro.obs import get_tracer
 
 #: Bytes per 32-bit word (indices and float32 values).
 WORD_BYTES = 4
@@ -113,20 +114,42 @@ class SimulatedDevice:
     timing: TimingModel = field(default_factory=TimingModel)
 
     def measure(self, stats: KernelStats) -> Measurement:
-        """Estimate the execution of one kernel launch (or fused launches)."""
+        """Estimate the execution of one kernel launch (or fused launches).
+
+        When a tracer is installed (:func:`repro.obs.get_tracer`), each
+        call emits a ``kernel_launch`` span carrying the derived
+        :class:`~repro.gpu.profiler.KernelProfile` fields (bound type,
+        achieved bandwidth fraction, block imbalance) as attributes.
+        """
         if stats.footprint_bytes > self.spec.dram_bytes:
             raise SimulatedOOMError(stats.footprint_bytes, self.spec.dram_bytes)
-        breakdown = self.timing.estimate(stats, self.spec)
-        total_s = breakdown.total_s
-        flops = float(stats.flops)
-        peak = self.spec.fp32_gflops * 1e9
-        throughput = 0.0 if total_s <= 0.0 else min(1.0, flops / total_s / peak)
-        return Measurement(
-            time_s=total_s,
-            breakdown=breakdown,
-            stats=stats,
-            compute_throughput=throughput,
-        )
+        tracer = get_tracer()
+        with tracer.span("kernel_launch", kernel=stats.label or "unlabeled") as span:
+            breakdown = self.timing.estimate(stats, self.spec)
+            total_s = breakdown.total_s
+            flops = float(stats.flops)
+            peak = self.spec.fp32_gflops * 1e9
+            throughput = 0.0 if total_s <= 0.0 else min(1.0, flops / total_s / peak)
+            measurement = Measurement(
+                time_s=total_s,
+                breakdown=breakdown,
+                stats=stats,
+                compute_throughput=throughput,
+            )
+            if tracer.enabled and total_s > 0:
+                from repro.gpu.profiler import profile  # local: avoids cycle
+
+                p = profile(measurement, self.spec)
+                span.set(
+                    sim_ms=measurement.time_ms,
+                    num_launches=stats.num_launches,
+                    bound=p.bound,
+                    bandwidth_fraction=round(p.bandwidth_fraction, 4),
+                    compute_fraction=round(p.compute_fraction, 4),
+                    imbalance=round(p.imbalance, 3),
+                    launch_fraction=round(p.launch_fraction, 4),
+                )
+        return measurement
 
     def measure_many(self, stats_list: list[KernelStats]) -> Measurement:
         """Measure a sequence of dependent kernel launches (summed time)."""

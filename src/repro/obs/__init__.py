@@ -1,0 +1,54 @@
+"""Observability: end-to-end tracing and a metrics registry.
+
+The paper's central quantitative claim is about *overhead* — how little
+time LiteForm spends composing relative to the speedup it buys (Figures
+8-9).  This package makes that attribution first-class across the whole
+stack instead of end-of-run aggregates:
+
+* :mod:`repro.obs.trace` — a thread-safe :class:`Tracer` of nested
+  context-manager spans with monotonic timestamps, exported as Chrome
+  trace-event JSON (open in Perfetto) or a plain-text flame summary.
+  The compose pipeline, the simulated device, the serving layer, and
+  the benchmark harness all emit spans on the globally installed tracer
+  (:func:`get_tracer`), which defaults to a near-zero-cost no-op.
+* :mod:`repro.obs.registry` — a :class:`MetricsRegistry` of counters,
+  gauges, and fixed-bucket streaming histograms (p50/p95/p99 without
+  unbounded storage), rendered as Prometheus text exposition or a JSON
+  snapshot.  :class:`repro.serve.ServerMetrics` publishes onto it.
+
+See docs/OBSERVABILITY.md for the API tour and overhead numbers.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+]

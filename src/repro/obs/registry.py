@@ -1,0 +1,335 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the aggregate side of :mod:`repro.obs` (the tracer is
+the per-event side).  Three instrument types, all thread-safe:
+
+* :class:`Counter` — monotonically increasing total (optionally backed
+  by a callback so existing scoreboards can expose their fields without
+  changing their increment sites);
+* :class:`Gauge` — a value that goes up and down (or a callback);
+* :class:`Histogram` — fixed bucket boundaries with streaming count /
+  sum / min / max, giving p50/p95/p99 by linear interpolation inside the
+  winning bucket.  Memory is O(#buckets) regardless of traffic, unlike
+  an append-only latency list.
+
+:class:`MetricsRegistry` name-spaces instruments and renders them as a
+Prometheus-style text exposition (:meth:`~MetricsRegistry.render_prometheus`)
+or a JSON snapshot (:meth:`~MetricsRegistry.snapshot`).  A process-wide
+default registry is available via :func:`get_registry`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable, Iterable
+
+#: Prometheus metric-name grammar.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default histogram boundaries for millisecond latencies (upper bounds;
+#: a +Inf bucket is implicit).  Log-spaced from 10 us to 10 s.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10_000.0,
+)
+
+#: Percentiles every summary reports (mirrors serve.metrics.PERCENTILES).
+SUMMARY_PERCENTILES = (50, 95, 99)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r} (must match {_NAME_RE.pattern})")
+    return name
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", callback: Callable[[], float] | None = None):
+        self.name = _check_name(name)
+        self.help = help
+        self._callback = callback
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        if self._callback is not None:
+            raise RuntimeError(f"counter {self.name} is callback-backed; inc() is invalid")
+        with self._lock:
+            self._value += amount
+
+    def bind(self, callback: Callable[[], float]) -> None:
+        """Re-point a callback-backed counter at a new source."""
+        self._callback = callback
+
+    @property
+    def value(self) -> float:
+        if self._callback is not None:
+            return float(self._callback())
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", callback: Callable[[], float] | None = None):
+        self.name = _check_name(name)
+        self.help = help
+        self._callback = callback
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        if self._callback is not None:
+            raise RuntimeError(f"gauge {self.name} is callback-backed; set() is invalid")
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._callback is not None:
+            raise RuntimeError(f"gauge {self.name} is callback-backed; inc() is invalid")
+        with self._lock:
+            self._value += amount
+
+    def bind(self, callback: Callable[[], float]) -> None:
+        self._callback = callback
+
+    @property
+    def value(self) -> float:
+        if self._callback is not None:
+            return float(self._callback())
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with streaming percentile estimates.
+
+    Storage is one integer per bucket plus five scalars — constant in the
+    number of observations.  ``percentile`` locates the bucket holding the
+    requested rank and interpolates linearly between its bounds, clamped
+    to the observed min/max so small series do not report bucket edges
+    wildly beyond the data.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] | None = None,
+    ):
+        self.name = _check_name(name)
+        self.help = help
+        if buckets is None:
+            buckets = DEFAULT_LATENCY_BUCKETS_MS
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket boundaries must be finite (+Inf is implicit)")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = self._bucket_index(value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def _bucket_index(self, value: float) -> int:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bound >= value
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated ``p``-th percentile (0-100) via in-bucket interpolation."""
+        if self._count == 0:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        rank = p / 100.0 * self._count
+        cumulative = 0
+        for i, c in enumerate(self._counts):
+            if c == 0:
+                continue
+            if cumulative + c >= rank:
+                lower = self.bounds[i - 1] if i > 0 else self._min
+                upper = self.bounds[i] if i < len(self.bounds) else self._max
+                lower = max(lower, self._min)
+                upper = min(upper, self._max)
+                if upper <= lower:
+                    return float(upper)
+                frac = (rank - cumulative) / c
+                return float(lower + frac * (upper - lower))
+            cumulative += c
+        return float(self._max)  # pragma: no cover - unreachable
+
+    def summary(self) -> dict:
+        """``{"p50", "p95", "p99", "mean", "max"}`` — the serving contract."""
+        out = {f"p{p}": self.percentile(p) for p in SUMMARY_PERCENTILES}
+        out["mean"] = self.mean
+        out["max"] = self.max
+        return out
+
+    def bucket_counts(self) -> dict[str, int]:
+        """Cumulative counts keyed by upper bound (Prometheus ``le`` style)."""
+        out: dict[str, int] = {}
+        cumulative = 0
+        for bound, c in zip(self.bounds, self._counts):
+            cumulative += c
+            out[_format_bound(bound)] = cumulative
+        out["+Inf"] = self._count
+        return out
+
+
+def _format_bound(bound: float) -> str:
+    return f"{bound:g}"
+
+
+class MetricsRegistry:
+    """Named collection of instruments with text / JSON exposition."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}, "
+                        f"requested {cls.kind}"
+                    )
+                callback = kwargs.get("callback")
+                if callback is not None:
+                    existing.bind(callback)
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", callback: Callable[[], float] | None = None
+    ) -> Counter:
+        """Get or create a counter (re-binding the callback if given)."""
+        return self._get_or_create(Counter, name, help, callback=callback)
+
+    def gauge(
+        self, name: str, help: str = "", callback: Callable[[], float] | None = None
+    ) -> Gauge:
+        """Get or create a gauge (re-binding the callback if given)."""
+        return self._get_or_create(Gauge, name, help, callback=callback)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Iterable[float] | None = None
+    ) -> Histogram:
+        """Get or create a histogram (bucket bounds fixed at creation)."""
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._metrics))
+
+    def reset(self) -> None:
+        """Forget every instrument (used between CLI runs and tests)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-friendly view: scalars for counters/gauges, dicts for
+        histograms (count, sum, mean, max, percentiles, buckets)."""
+        out: dict[str, object] = {}
+        for name in self.names():
+            m = self._metrics[name]
+            if isinstance(m, Histogram):
+                out[name] = {
+                    "count": m.count,
+                    "sum": m.sum,
+                    **m.summary(),
+                    "buckets": m.bucket_counts(),
+                }
+            else:
+                out[name] = m.value
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name in self.names():
+            m = self._metrics[name]
+            if m.help:
+                lines.append(f"# HELP {name} {m.help}")
+            lines.append(f"# TYPE {name} {m.kind}")
+            if isinstance(m, Histogram):
+                for le, c in m.bucket_counts().items():
+                    lines.append(f'{name}_bucket{{le="{le}"}} {c}')
+                lines.append(f"{name}_sum {m.sum:g}")
+                lines.append(f"{name}_count {m.count}")
+            else:
+                lines.append(f"{name} {m.value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+#: Process-wide default registry (Prometheus-style global).
+_global_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _global_registry

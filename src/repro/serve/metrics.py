@@ -6,6 +6,13 @@ plan cache exists to recover — Figures 8-9 measure exactly this overhead
 per compose), and latency percentiles over the simulated execution times.
 ``snapshot()`` returns a flat JSON-friendly dict; ``report()`` renders a
 plain-text summary for the CLI.
+
+Memory is bounded under sustained traffic: :class:`LatencySeries` keeps a
+fixed-size reservoir sample (Vitter's Algorithm R) instead of an
+append-only list, with exact running count/mean/max, and every scoreboard
+field is published onto a :class:`repro.obs.MetricsRegistry` (callback
+instruments for the counters, fixed-bucket streaming histograms for the
+latencies) so ``cli stats`` can render a Prometheus-style exposition.
 """
 
 from __future__ import annotations
@@ -14,25 +21,60 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import MetricsRegistry
+
 #: Percentiles reported by every latency summary.
 PERCENTILES = (50, 95, 99)
 
+#: Default reservoir capacity of a :class:`LatencySeries` — exact
+#: percentiles up to this many observations, a uniform sample beyond.
+DEFAULT_MAX_SAMPLES = 4096
+
 
 class LatencySeries:
-    """An append-only series of latencies with percentile summaries."""
+    """Latency aggregate with bounded memory and percentile summaries.
 
-    def __init__(self, unit: str = "ms"):
+    Up to ``max_samples`` observations are stored verbatim (percentiles
+    are exact); past that, reservoir sampling keeps a uniform sample of
+    everything seen, so memory stays O(``max_samples``) under sustained
+    traffic while ``count``, ``mean``, and ``max`` remain exact.  The
+    reservoir's RNG is seeded, keeping replays deterministic.
+    """
+
+    def __init__(self, unit: str = "ms", max_samples: int = DEFAULT_MAX_SAMPLES,
+                 seed: int = 0):
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.unit = unit
+        self.max_samples = int(max_samples)
+        self._rng = np.random.default_rng(seed)
         self._values: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
 
     def add(self, value: float) -> None:
-        self._values.append(float(value))
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if value > self._max:
+            self._max = value
+        if len(self._values) < self.max_samples:
+            self._values.append(value)
+        else:
+            # Algorithm R: keep each of the _count observations with
+            # probability max_samples / _count.
+            j = int(self._rng.integers(0, self._count))
+            if j < self.max_samples:
+                self._values[j] = value
 
     def __len__(self) -> int:
-        return len(self._values)
+        """Total observations seen (not the retained sample size)."""
+        return self._count
 
     @property
     def values(self) -> np.ndarray:
+        """The retained sample (all values while under ``max_samples``)."""
         return np.asarray(self._values, dtype=np.float64)
 
     def percentile(self, p: float) -> float:
@@ -42,11 +84,11 @@ class LatencySeries:
 
     @property
     def mean(self) -> float:
-        return float(self.values.mean()) if self._values else 0.0
+        return self._sum / self._count if self._count else 0.0
 
     @property
     def max(self) -> float:
-        return float(self.values.max()) if self._values else 0.0
+        return self._max if self._count else 0.0
 
     def summary(self) -> dict:
         """``{"p50": ..., "p95": ..., "p99": ..., "mean": ..., "max": ...}``."""
@@ -58,7 +100,12 @@ class LatencySeries:
 
 @dataclass
 class ServerMetrics:
-    """Scoreboard updated by :class:`repro.serve.server.SpMMServer`."""
+    """Scoreboard updated by :class:`repro.serve.server.SpMMServer`.
+
+    Every field is mirrored onto :attr:`registry` (a per-instance
+    :class:`~repro.obs.MetricsRegistry` by default; pass
+    ``repro.obs.get_registry()`` to publish onto the process-wide one).
+    """
 
     requests: int = 0
     cache_hits: int = 0
@@ -78,6 +125,44 @@ class ServerMetrics:
     exec_ms: LatencySeries = field(default_factory=LatencySeries)
     #: End-to-end request latency: composition overhead + simulated execution.
     total_ms: LatencySeries = field(default_factory=LatencySeries)
+    #: Registry this scoreboard publishes onto.
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def __post_init__(self) -> None:
+        r = self.registry
+        for name, help_text, attr in (
+            ("serve_requests_total", "Requests served", "requests"),
+            ("serve_cache_hits_total", "Plan-cache hits", "cache_hits"),
+            ("serve_cache_misses_total", "Plan-cache misses", "cache_misses"),
+            ("serve_degraded_total", "Requests degraded to the CSR fallback",
+             "degraded"),
+            ("serve_deadline_misses_total", "Requests missing their deadline",
+             "deadline_misses"),
+            ("serve_failed_total", "Requests failing with a simulated OOM",
+             "failed"),
+            ("serve_compose_spent_seconds", "Wall-clock seconds spent composing",
+             "compose_spent_s"),
+            ("serve_compose_saved_seconds",
+             "Composition seconds saved by cache hits", "compose_saved_s"),
+        ):
+            r.counter(name, help_text,
+                      callback=lambda self=self, a=attr: getattr(self, a))
+        r.gauge("serve_cache_hit_rate", "Plan-cache hit rate",
+                callback=lambda self=self: self.hit_rate)
+        self._exec_hist = r.histogram(
+            "serve_exec_latency_ms", "Simulated kernel time per request (ms)"
+        )
+        self._total_hist = r.histogram(
+            "serve_request_latency_ms",
+            "End-to-end latency per request: compose overhead + execution (ms)",
+        )
+
+    def observe_latency(self, exec_ms: float, total_ms: float) -> None:
+        """Record one request's latencies (series + registry histograms)."""
+        self.exec_ms.add(exec_ms)
+        self.total_ms.add(total_ms)
+        self._exec_hist.observe(exec_ms)
+        self._total_hist.observe(total_ms)
 
     @property
     def hit_rate(self) -> float:

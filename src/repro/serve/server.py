@@ -32,6 +32,7 @@ from repro.formats.csr import CSRFormat
 from repro.gpu.device import SimulatedDevice, SimulatedOOMError
 from repro.gpu.stats import Measurement
 from repro.kernels.csr_spmm import RowSplitCSRSpMM
+from repro.obs import get_tracer
 from repro.serve.fingerprint import fingerprint_csr, plan_key
 from repro.serve.metrics import ServerMetrics
 from repro.serve.plan_cache import PlanCache
@@ -147,65 +148,95 @@ class SpMMServer:
 
     # ------------------------------------------------------------------
     def serve(self, request: SpMMRequest) -> SpMMResponse:
-        """Serve one request; every path updates :attr:`metrics`."""
+        """Serve one request; every path updates :attr:`metrics`.
+
+        With a tracer installed (:func:`repro.obs.get_tracer`), each
+        request emits a ``request`` span with children ``cache_lookup``,
+        ``admission`` / ``degraded_build`` / ``compose`` (the compose span
+        nests the pipeline's per-stage spans), and ``execute`` (which
+        nests the simulated ``kernel_launch`` spans).
+        """
         m = self.metrics
         m.requests += 1
-        t0 = time.perf_counter()
-        A = self._canonical(request.matrix)
-        key = plan_key(fingerprint_csr(A), request.J)
+        tracer = get_tracer()
+        with tracer.span(
+            "request", J=request.J, matrix=request.name or "anonymous"
+        ) as req_span:
+            t0 = time.perf_counter()
+            with tracer.span("cache_lookup"):
+                A = self._canonical(request.matrix)
+                key = plan_key(fingerprint_csr(A), request.J)
+                entry = self.cache.get(key)
 
-        degraded = False
-        entry = self.cache.get(key)
-        if entry is not None:
-            m.cache_hits += 1
-            m.compose_saved_s += entry.compose_overhead_s
-            plan = entry.plan
-            overhead_s = time.perf_counter() - t0
-        else:
-            m.cache_misses += 1
-            estimate = self.estimate_compose_s(A.nnz)
-            deadline = request.deadline_ms
-            if deadline is not None and estimate is not None and estimate * 1e3 > deadline:
-                plan = self._fallback_plan(A)
-                degraded = True
-                m.degraded += 1
+            degraded = False
+            if entry is not None:
+                m.cache_hits += 1
+                m.compose_saved_s += entry.compose_overhead_s
+                plan = entry.plan
                 overhead_s = time.perf_counter() - t0
-                # degraded plans are intentionally NOT cached: a later
-                # best-effort request for the same matrix should get the
-                # full pipeline, not a pinned fallback.
             else:
-                plan = self.liteform.compose_csr(A, request.J)
-                self._observe_compose(A.nnz, plan.overhead.total_s)
-                overhead_s = time.perf_counter() - t0
-                m.compose_spent_s += plan.overhead.total_s
-                self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
+                m.cache_misses += 1
+                with tracer.span("admission") as adm_span:
+                    estimate = self.estimate_compose_s(A.nnz)
+                    deadline = request.deadline_ms
+                    degraded = (
+                        deadline is not None
+                        and estimate is not None
+                        and estimate * 1e3 > deadline
+                    )
+                    adm_span.set(
+                        admitted=not degraded,
+                        estimate_ms=None if estimate is None else estimate * 1e3,
+                    )
+                if degraded:
+                    with tracer.span("degraded_build"):
+                        plan = self._fallback_plan(A)
+                    m.degraded += 1
+                    overhead_s = time.perf_counter() - t0
+                    # degraded plans are intentionally NOT cached: a later
+                    # best-effort request for the same matrix should get the
+                    # full pipeline, not a pinned fallback.
+                else:
+                    with tracer.span("compose", nnz=A.nnz):
+                        plan = self.liteform.compose_csr(A, request.J)
+                    self._observe_compose(A.nnz, plan.overhead.total_s)
+                    overhead_s = time.perf_counter() - t0
+                    m.compose_spent_s += plan.overhead.total_s
+                    self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
 
-        slot_index = self._pick_device()
-        slot = self._slots[slot_index]
-        C: np.ndarray | None = None
-        measurement: Measurement | None = None
-        failed = False
-        try:
-            if request.B is not None:
-                C, measurement = plan.kernel.run(plan.fmt, request.B, slot.device)
-            else:
-                measurement = plan.kernel.measure(plan.fmt, request.J, slot.device)
-        except SimulatedOOMError:
-            failed = True
-            m.failed += 1
-        exec_ms = measurement.time_ms if measurement is not None else 0.0
-        slot.busy_s += exec_ms * 1e-3
-        slot.requests += 1
+            slot_index = self._pick_device()
+            slot = self._slots[slot_index]
+            C: np.ndarray | None = None
+            measurement: Measurement | None = None
+            failed = False
+            with tracer.span("execute", device=slot_index):
+                try:
+                    if request.B is not None:
+                        C, measurement = plan.kernel.run(plan.fmt, request.B, slot.device)
+                    else:
+                        measurement = plan.kernel.measure(plan.fmt, request.J, slot.device)
+                except SimulatedOOMError:
+                    failed = True
+                    m.failed += 1
+            exec_ms = measurement.time_ms if measurement is not None else 0.0
+            slot.busy_s += exec_ms * 1e-3
+            slot.requests += 1
 
-        overhead_ms = overhead_s * 1e3
-        deadline_missed = (
-            request.deadline_ms is not None and overhead_ms > request.deadline_ms
-        )
-        if deadline_missed:
-            m.deadline_misses += 1
-        latency_ms = overhead_ms + exec_ms
-        m.exec_ms.add(exec_ms)
-        m.total_ms.add(latency_ms)
+            overhead_ms = overhead_s * 1e3
+            deadline_missed = (
+                request.deadline_ms is not None and overhead_ms > request.deadline_ms
+            )
+            if deadline_missed:
+                m.deadline_misses += 1
+            latency_ms = overhead_ms + exec_ms
+            m.observe_latency(exec_ms, latency_ms)
+            req_span.set(
+                cache_hit=entry is not None,
+                degraded=degraded,
+                deadline_missed=deadline_missed,
+                failed=failed,
+                sim_exec_ms=exec_ms,
+            )
         return SpMMResponse(
             C=C,
             measurement=measurement,
@@ -221,9 +252,14 @@ class SpMMServer:
         )
 
     def replay(self, requests: list[SpMMRequest]) -> ServerMetrics:
-        """Serve a whole workload in order and return the scoreboard."""
-        for request in requests:
-            self.serve(request)
+        """Serve a whole workload in order and return the scoreboard.
+
+        The whole replay runs under one root ``replay`` span so a traced
+        run attributes (nearly) all wall time to spans.
+        """
+        with get_tracer().span("replay", requests=len(requests)):
+            for request in requests:
+                self.serve(request)
         return self.metrics
 
     # ------------------------------------------------------------------

@@ -97,6 +97,9 @@ class TestModuleInventory:
         "repro.baselines.registry",
         "repro.baselines.taxonomy",
         "repro.baselines.autoselect",
+        "repro.obs",
+        "repro.obs.trace",
+        "repro.obs.registry",
         "repro.serve.fingerprint",
         "repro.serve.plan_cache",
         "repro.serve.metrics",

@@ -1,0 +1,192 @@
+"""Tracer behaviour: nesting, export, global installation, no-op cost."""
+
+import json
+import threading
+import time
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+from repro.obs.trace import NULL_SPAN
+
+
+class TestSpans:
+    def test_nesting_records_parent_ids(self):
+        t = Tracer()
+        with t.span("outer") as outer:
+            with t.span("inner"):
+                pass
+        inner = next(s for s in t.spans if s.name == "inner")
+        assert inner.parent_id == outer.span_id
+        assert next(s for s in t.spans if s.name == "outer").parent_id is None
+
+    def test_sibling_spans_share_parent(self):
+        t = Tracer()
+        with t.span("root"):
+            with t.span("a"):
+                pass
+            with t.span("b"):
+                pass
+        a, b = (next(s for s in t.spans if s.name == n) for n in "ab")
+        assert a.parent_id == b.parent_id
+        assert a.start_s <= b.start_s
+
+    def test_attributes_at_open_and_via_set(self):
+        t = Tracer()
+        with t.span("s", matrix="cora") as s:
+            s.set(buckets=3)
+        (span,) = t.spans
+        assert span.attributes == {"matrix": "cora", "buckets": 3}
+
+    def test_exception_marks_span_and_still_finishes(self):
+        t = Tracer()
+        try:
+            with t.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        (span,) = t.spans
+        assert span.end_s is not None
+        assert span.attributes["error"] == "ValueError"
+
+    def test_durations_are_monotonic_wall_time(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                time.sleep(0.002)
+        inner = next(s for s in t.spans if s.name == "inner")
+        outer = next(s for s in t.spans if s.name == "outer")
+        assert inner.duration_s >= 0.002
+        assert outer.duration_s >= inner.duration_s
+
+    def test_threads_record_independent_stacks(self):
+        t = Tracer()
+
+        def worker():
+            with t.span("thread_root"):
+                with t.span("thread_child"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        with t.span("main_root"):
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+        roots = [s for s in t.spans if s.parent_id is None]
+        # thread spans must not nest under the main thread's active span
+        assert sum(s.name == "thread_root" for s in roots) == 4
+        main_tid = next(s.tid for s in roots if s.name == "main_root")
+        by_id = {s.span_id: s for s in t.spans}
+        for child in (s for s in t.spans if s.name == "thread_child"):
+            assert child.tid != main_tid
+            assert child.tid == by_id[child.parent_id].tid
+
+    def test_reset_drops_finished_spans(self):
+        t = Tracer()
+        with t.span("x"):
+            pass
+        t.reset()
+        assert t.spans == ()
+
+
+class TestChromeExport:
+    def test_required_fields_and_relative_timestamps(self):
+        t = Tracer()
+        with t.span("outer", k="v"):
+            with t.span("inner"):
+                pass
+        trace = t.chrome_trace()
+        events = trace["traceEvents"]
+        assert len(events) == 2
+        for e in events:
+            for key in ("ph", "ts", "dur", "name", "pid", "tid"):
+                assert key in e, key
+            assert e["ph"] == "X"
+            assert e["ts"] >= 0.0
+        assert min(e["ts"] for e in events) == 0.0
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        t = Tracer()
+        with t.span("s", nnz=10):
+            pass
+        path = t.write(tmp_path / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"][0]["name"] == "s"
+        assert loaded["traceEvents"][0]["args"] == {"nnz": 10}
+
+    def test_numpy_attributes_are_jsonable(self, tmp_path):
+        import numpy as np
+
+        t = Tracer()
+        with t.span("s", count=np.int64(3), frac=np.float64(0.5)):
+            pass
+        path = t.write(tmp_path / "trace.json")
+        args = json.loads(path.read_text())["traceEvents"][0]["args"]
+        assert args == {"count": 3, "frac": 0.5}
+
+
+class TestSummaries:
+    def test_flame_summary_lists_each_name_once(self):
+        t = Tracer()
+        for _ in range(3):
+            with t.span("stage"):
+                pass
+        text = t.flame_summary()
+        assert text.count("stage") == 1
+        assert "count" in text and "self_ms" in text
+
+    def test_flame_summary_empty(self):
+        assert "no spans" in Tracer().flame_summary()
+
+    def test_coverage_full_when_one_root_covers_all(self):
+        t = Tracer()
+        with t.span("root"):
+            with t.span("child"):
+                time.sleep(0.001)
+        assert t.coverage() == 1.0
+
+    def test_coverage_sees_gaps_between_roots(self):
+        t = Tracer()
+        with t.span("a"):
+            time.sleep(0.002)
+        time.sleep(0.02)
+        with t.span("b"):
+            time.sleep(0.002)
+        assert t.coverage() < 0.9
+
+
+class TestGlobalTracer:
+    def test_default_is_null_tracer(self):
+        assert isinstance(get_tracer(), (NullTracer, Tracer))
+
+    def test_set_and_restore(self):
+        t = Tracer()
+        previous = set_tracer(t)
+        try:
+            assert get_tracer() is t
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+    def test_tracing_context_restores_previous(self):
+        before = get_tracer()
+        with tracing() as t:
+            assert get_tracer() is t
+            with get_tracer().span("inside"):
+                pass
+        assert get_tracer() is before
+        assert any(s.name == "inside" for s in t.spans)
+
+    def test_null_tracer_is_free_of_state(self):
+        span = NULL_TRACER.span("anything", key=1)
+        assert span is NULL_SPAN
+        with span as s:
+            assert s.set(a=1) is s
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.spans == ()
