@@ -13,7 +13,9 @@ Commands
 ``serve``
     Replay a seeded Zipf workload through :class:`repro.serve.SpMMServer`
     (plan caching, admission control, device pool) and print the metrics
-    report.
+    report.  ``--faults`` / ``--death-rate`` / ``--spike-rate`` inject
+    seeded chaos into the device pool; ``--retries`` and ``--no-degrade``
+    control the recovery policy.
 ``info``
     Print format statistics (padding, footprint) for every format on the
     input matrix (``--profile`` adds per-kernel roofline profiles).
@@ -186,7 +188,7 @@ def cmd_train(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from repro.serve import PlanCache, SpMMServer, WorkloadSpec, generate_workload
+    from repro.serve import PlanCache, RetryPolicy, SpMMServer, WorkloadSpec, generate_workload
 
     spec = WorkloadSpec(
         num_requests=args.requests,
@@ -205,10 +207,35 @@ def cmd_serve(args) -> int:
         f"matrices (Zipf {spec.zipf_s}) ...",
         file=sys.stderr,
     )
+    devices = None
+    if args.faults or args.death_rate or args.spike_rate:
+        from repro.gpu.faults import FaultPolicy, FaultyDevice
+
+        devices = [
+            FaultyDevice(
+                faults=FaultPolicy(
+                    transient_oom_rate=args.faults,
+                    death_rate=args.death_rate,
+                    latency_spike_rate=args.spike_rate,
+                    seed=args.seed + 1000 + i,
+                )
+            )
+            for i in range(args.devices)
+        ]
+        print(
+            f"fault injection: transient OOM {args.faults:.1%}, "
+            f"death {args.death_rate:.2%}, spikes {args.spike_rate:.1%} "
+            f"per launch (retries={args.retries}, "
+            f"degrade={'off' if args.no_degrade else 'on'})",
+            file=sys.stderr,
+        )
     server = SpMMServer(
         liteform=lf,
         cache=PlanCache(max_bytes=int(args.cache_mb * 2**20)),
         num_devices=args.devices,
+        devices=devices,
+        retry=RetryPolicy(max_attempts=args.retries),
+        degrade_on_oom=not args.no_degrade,
     )
     requests = generate_workload(spec)
     # The trace region covers exactly the replay, so the exported spans
@@ -341,6 +368,16 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--cache-mb", type=float, default=256.0,
                     help="plan-cache byte budget in MiB")
     sp.add_argument("--devices", type=int, default=1, help="simulated device pool size")
+    sp.add_argument("--faults", type=float, default=0.0, metavar="RATE",
+                    help="inject transient OOMs at this per-launch rate")
+    sp.add_argument("--death-rate", type=float, default=0.0, metavar="RATE",
+                    help="per-launch probability a device dies permanently")
+    sp.add_argument("--spike-rate", type=float, default=0.0, metavar="RATE",
+                    help="per-launch probability of an 8x latency spike")
+    sp.add_argument("--retries", type=int, default=3,
+                    help="max execution attempts per request (1 = no retries)")
+    sp.add_argument("--no-degrade", action="store_true",
+                    help="disable CSR degradation on structural OOM")
     sp.add_argument("--measure-only", action="store_true",
                     help="skip numeric execution, time the kernels only")
     sp.add_argument("--seed", type=int, default=0)

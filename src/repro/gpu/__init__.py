@@ -15,8 +15,16 @@ and by roughly what factor (the quantities the paper's evaluation is about),
 not wall-clock milliseconds on a specific part.
 """
 
-from repro.gpu.device import A100, GPUSpec, SimulatedDevice, V100
+from repro.gpu.device import (
+    A100,
+    V100,
+    DeviceLostError,
+    GPUSpec,
+    SimulatedDevice,
+    SimulatedOOMError,
+)
 from repro.gpu.executor import BlockScheduler, ScheduleResult
+from repro.gpu.faults import FaultPolicy, FaultyDevice
 from repro.gpu.memory import (
     CacheModel,
     atomic_store_bytes,
@@ -29,6 +37,10 @@ from repro.gpu.timing import TimeBreakdown, TimingModel
 __all__ = [
     "GPUSpec",
     "SimulatedDevice",
+    "SimulatedOOMError",
+    "DeviceLostError",
+    "FaultPolicy",
+    "FaultyDevice",
     "V100",
     "A100",
     "BlockScheduler",

@@ -90,6 +90,15 @@ class SimulatedOOMError(MemoryError):
 
     Mirrors the ``OOM`` annotations of Figure 6 (Triton's BSR representation
     of the large graphs does not fit in 16 GB).
+
+    ``required_bytes > capacity_bytes`` marks a *structural* OOM — the
+    working set can never fit this device, so retrying the same plan is
+    futile and the only recovery is a smaller-footprint format.  Fault
+    injection (:mod:`repro.gpu.faults`) raises the same error with
+    ``required_bytes <= capacity_bytes`` to model *transient* memory
+    pressure (fragmentation, a neighbor's allocation) that a retry can
+    clear; :class:`repro.serve.server.SpMMServer` keys its recovery on
+    :attr:`is_structural`.
     """
 
     def __init__(self, required_bytes: int, capacity_bytes: int):
@@ -99,6 +108,25 @@ class SimulatedOOMError(MemoryError):
             f"simulated device OOM: kernel requires {required_bytes / 2**30:.2f} GiB, "
             f"device has {capacity_bytes / 2**30:.2f} GiB"
         )
+
+    @property
+    def is_structural(self) -> bool:
+        """True when the working set can never fit on this device."""
+        return self.required_bytes > self.capacity_bytes
+
+
+class DeviceLostError(RuntimeError):
+    """Raised when a simulated device has failed permanently.
+
+    Models the CUDA ``cudaErrorDevicesUnavailable`` / Xid-error class of
+    failures: every launch on the device fails until it is replaced.  The
+    serving layer's circuit breaker (:mod:`repro.serve.resilience`) ejects
+    the device from placement and probes it after a cooldown.
+    """
+
+    def __init__(self, device_name: str = "device"):
+        self.device_name = device_name
+        super().__init__(f"simulated device lost: {device_name}")
 
 
 @dataclass

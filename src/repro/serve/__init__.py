@@ -9,20 +9,29 @@ byte-budgeted LRU :class:`~repro.serve.plan_cache.PlanCache` instead of
 re-running the pipeline), applies deadline-driven admission control (a
 request whose estimated composition overhead would blow its deadline is
 served a plain CSR row-split plan immediately), and executes on a pool of
-simulated devices.  :mod:`~repro.serve.workload` generates seeded
-Zipf-distributed request traffic for replay; :mod:`~repro.serve.metrics`
-aggregates the serving counters and latency percentiles.
+simulated devices.  Execution is resilient: transient faults are retried
+with bounded exponential backoff (:class:`~repro.serve.resilience.RetryPolicy`)
+across per-device circuit breakers
+(:class:`~repro.serve.resilience.CircuitBreaker`), and a structural OOM
+degrades the plan to CSR instead of failing the request.
+:mod:`~repro.serve.workload` generates seeded Zipf-distributed request
+traffic for replay; :mod:`~repro.serve.metrics` aggregates the serving
+counters and latency percentiles.
 
-See docs/SERVING.md for cache keying, eviction, and deadline semantics.
+See docs/SERVING.md for cache keying, eviction, deadline, and resilience
+semantics.
 """
 
 from repro.serve.fingerprint import MatrixFingerprint, fingerprint_csr, plan_key
 from repro.serve.metrics import LatencySeries, ServerMetrics
 from repro.serve.plan_cache import CACHE_MAGIC, CacheEntry, PlanCache
+from repro.serve.resilience import CircuitBreaker, RetryPolicy
 from repro.serve.server import SpMMRequest, SpMMResponse, SpMMServer
 from repro.serve.workload import WorkloadSpec, generate_workload, zipf_weights
 
 __all__ = [
+    "CircuitBreaker",
+    "RetryPolicy",
     "MatrixFingerprint",
     "fingerprint_csr",
     "plan_key",

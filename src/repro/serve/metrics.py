@@ -114,8 +114,18 @@ class ServerMetrics:
     degraded: int = 0
     #: Requests whose composition overhead exceeded their deadline anyway.
     deadline_misses: int = 0
-    #: Requests that hit a simulated OOM during execution.
+    #: Requests that exhausted every recovery path and were not served.
     failed: int = 0
+    #: Extra execution attempts beyond each request's first.
+    retries: int = 0
+    #: Requests that failed at least one attempt but were ultimately served.
+    recovered: int = 0
+    #: Plans rebuilt as CSR after a structural OOM (graceful degradation).
+    oom_degraded: int = 0
+    #: Device-lost errors observed across the pool.
+    device_lost: int = 0
+    #: Circuit-breaker trips (closed/half-open -> open) across the pool.
+    breaker_open: int = 0
     #: Wall-clock seconds spent composing (cache misses).
     compose_spent_s: float = 0.0
     #: Wall-clock seconds a compose-per-request server would have spent on
@@ -125,6 +135,9 @@ class ServerMetrics:
     exec_ms: LatencySeries = field(default_factory=LatencySeries)
     #: End-to-end request latency: composition overhead + simulated execution.
     total_ms: LatencySeries = field(default_factory=LatencySeries)
+    #: End-to-end latency of *failed* requests (overhead + retry backoff),
+    #: kept out of the success series so they cannot skew p50/p95.
+    failed_ms: LatencySeries = field(default_factory=LatencySeries)
     #: Registry this scoreboard publishes onto.
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
 
@@ -138,8 +151,20 @@ class ServerMetrics:
              "degraded"),
             ("serve_deadline_misses_total", "Requests missing their deadline",
              "deadline_misses"),
-            ("serve_failed_total", "Requests failing with a simulated OOM",
+            ("serve_failed_total",
+             "Requests failing after exhausting retries and degradation",
              "failed"),
+            ("serve_retries_total",
+             "Execution attempts beyond each request's first", "retries"),
+            ("serve_recovered_total",
+             "Requests served despite at least one failed attempt",
+             "recovered"),
+            ("serve_oom_degraded_total",
+             "Plans rebuilt as CSR after a structural OOM", "oom_degraded"),
+            ("serve_device_lost_total",
+             "Device-lost errors observed across the pool", "device_lost"),
+            ("serve_breaker_open_total",
+             "Circuit-breaker trips across the device pool", "breaker_open"),
             ("serve_compose_spent_seconds", "Wall-clock seconds spent composing",
              "compose_spent_s"),
             ("serve_compose_saved_seconds",
@@ -156,18 +181,38 @@ class ServerMetrics:
             "serve_request_latency_ms",
             "End-to-end latency per request: compose overhead + execution (ms)",
         )
+        self._failed_hist = r.histogram(
+            "serve_failed_latency_ms",
+            "End-to-end latency of failed requests: overhead + retry backoff (ms)",
+        )
 
     def observe_latency(self, exec_ms: float, total_ms: float) -> None:
-        """Record one request's latencies (series + registry histograms)."""
+        """Record one *served* request's latencies (series + histograms).
+
+        Failed requests must go through :meth:`observe_failed_latency`
+        instead; mixing them in here would skew the success percentiles.
+        """
         self.exec_ms.add(exec_ms)
         self.total_ms.add(total_ms)
         self._exec_hist.observe(exec_ms)
         self._total_hist.observe(total_ms)
 
+    def observe_failed_latency(self, total_ms: float) -> None:
+        """Record the latency a failed request paid before giving up."""
+        self.failed_ms.add(total_ms)
+        self._failed_hist.observe(total_ms)
+
     @property
     def hit_rate(self) -> float:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests served (1.0 with no traffic yet)."""
+        if not self.requests:
+            return 1.0
+        return 1.0 - self.failed / self.requests
 
     def snapshot(self) -> dict:
         """Flat, JSON-friendly view of the scoreboard."""
@@ -179,10 +224,17 @@ class ServerMetrics:
             "degraded": self.degraded,
             "deadline_misses": self.deadline_misses,
             "failed": self.failed,
+            "retries": self.retries,
+            "recovered": self.recovered,
+            "oom_degraded": self.oom_degraded,
+            "device_lost": self.device_lost,
+            "breaker_open": self.breaker_open,
+            "availability": self.availability,
             "compose_spent_s": self.compose_spent_s,
             "compose_saved_s": self.compose_saved_s,
             "exec_ms": self.exec_ms.summary(),
             "total_ms": self.total_ms.summary(),
+            "failed_ms": self.failed_ms.summary(),
         }
 
     def report(self) -> str:
@@ -194,7 +246,11 @@ class ServerMetrics:
             f"(hit rate {self.hit_rate:.1%})",
             f"degraded requests   {self.degraded}",
             f"deadline misses     {self.deadline_misses}",
-            f"failed (OOM)        {self.failed}",
+            f"failed requests     {self.failed} "
+            f"(availability {self.availability:.2%})",
+            f"retries/recovered   {self.retries}/{self.recovered}",
+            f"oom degraded        {self.oom_degraded}",
+            f"device lost/trips   {self.device_lost}/{self.breaker_open}",
             f"compose spent       {self.compose_spent_s * 1e3:.1f} ms",
             f"compose saved       {self.compose_saved_s * 1e3:.1f} ms",
             "simulated exec ms   "
@@ -202,4 +258,11 @@ class ServerMetrics:
             "request latency ms  "
             f"p50={t['p50']:.3f} p95={t['p95']:.3f} p99={t['p99']:.3f} max={t['max']:.3f}",
         ]
+        if self.failed:
+            f = self.failed_ms.summary()
+            lines.append(
+                "failed latency ms   "
+                f"p50={f['p50']:.3f} p95={f['p95']:.3f} p99={f['p99']:.3f} "
+                f"max={f['max']:.3f}"
+            )
         return "\n".join(lines)

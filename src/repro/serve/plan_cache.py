@@ -86,15 +86,17 @@ class PlanCache:
         old = self._entries.pop(key, None)
         if old is not None:
             self.total_bytes -= old.size_bytes
+        # Evict *before* inserting: the fresh entry is never an eviction
+        # candidate (it fits alone, per the budget check above), so the
+        # loop needs no invariant assertion and stays correct under -O.
+        while self._entries and self.total_bytes + size > self.max_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self.total_bytes -= evicted.size_bytes
+            self.evictions += 1
         self._entries[key] = CacheEntry(
             key=key, plan=plan, size_bytes=size, compose_overhead_s=compose_overhead_s
         )
         self.total_bytes += size
-        while self.total_bytes > self.max_bytes:
-            evicted_key, evicted = self._entries.popitem(last=False)
-            self.total_bytes -= evicted.size_bytes
-            self.evictions += 1
-            assert evicted_key != key  # the fresh entry always fits alone
         return True
 
     def clear(self) -> None:
@@ -148,6 +150,9 @@ class PlanCache:
         cache = cls(max_bytes=max_bytes or payload["max_bytes"])
         for key, plan, overhead_s in payload["entries"]:
             cache.put(key, plan, compose_overhead_s=overhead_s)
-        # warm-starting is not traffic: reset the counters put() bumped
-        cache.hits = cache.misses = 0
+        # Warm-starting is not traffic: reset *every* counter the loop
+        # above may have bumped.  Loading into a smaller budget evicts or
+        # rejects entries via put(), and leaving those counts in place
+        # would inflate the traffic counters before the first request.
+        cache.hits = cache.misses = cache.evictions = cache.rejected = 0
         return cache

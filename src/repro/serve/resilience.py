@@ -1,0 +1,130 @@
+"""Retry and circuit-breaker primitives for the serving layer.
+
+The recovery model follows standard fleet practice:
+
+* **Bounded retry with exponential backoff** (:class:`RetryPolicy`) —
+  transient faults (injected OOMs, a device dying mid-request) are
+  retried on the least-loaded healthy device, up to ``max_attempts``
+  total executions.  Backoff is *accounted* into request latency rather
+  than slept by default, keeping simulated replays fast while the
+  latency histograms still show the tail cost.
+* **Per-device circuit breaker** (:class:`CircuitBreaker`) — a device
+  failing ``failure_threshold`` consecutive times (or once fatally) is
+  ejected from placement; after ``cooldown_s`` it is probed again
+  (half-open) and re-admitted on the first success.
+
+Graceful degradation (rebuilding an OOMing CELL plan as CSR) lives in
+:class:`repro.serve.server.SpMMServer`, which owns the plans; this module
+is deliberately plan-agnostic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Circuit-breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with capped exponential backoff.
+
+    ``max_attempts`` counts total executions (1 = no retries).  With
+    ``real_sleep`` False (the default) the backoff is only accounted —
+    :meth:`backoff_ms` feeds the request's latency — so chaos replays do
+    not serialize on wall-clock sleeps.
+    """
+
+    max_attempts: int = 3
+    backoff_base_ms: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max_ms: float = 20.0
+    real_sleep: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_ms < 0 or self.backoff_max_ms < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+
+    def backoff_ms(self, retry_number: int) -> float:
+        """Backoff before the ``retry_number``-th retry (1-based)."""
+        if retry_number < 1:
+            raise ValueError(f"retry_number must be >= 1, got {retry_number}")
+        raw = self.backoff_base_ms * self.backoff_factor ** (retry_number - 1)
+        return min(self.backoff_max_ms, raw)
+
+    def pause(self, retry_number: int) -> float:
+        """Account (and optionally sleep) the backoff; returns the ms."""
+        delay_ms = self.backoff_ms(retry_number)
+        if self.real_sleep and delay_ms > 0:
+            time.sleep(delay_ms * 1e-3)
+        return delay_ms
+
+
+@dataclass
+class CircuitBreaker:
+    """Three-state (closed / open / half-open) breaker for one device.
+
+    ``allow()`` gates placement: closed always admits; open admits only
+    after ``cooldown_s`` has elapsed, transitioning to half-open; half-open
+    admits probes until a result is recorded (the server is sequential, so
+    at most one probe is in flight).  A fatal failure (device lost) trips
+    the breaker immediately regardless of the threshold.
+    """
+
+    failure_threshold: int = 3
+    cooldown_s: float = 1.0
+    clock: Callable[[], float] = field(default=time.monotonic)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {self.cooldown_s}")
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+        #: Times the breaker tripped closed/half-open -> open.
+        self.trips = 0
+
+    def allow(self) -> bool:
+        """May the device take traffic right now?"""
+        if self.state == CLOSED or self.state == HALF_OPEN:
+            return True
+        if self.opened_at is None or self.clock() - self.opened_at >= self.cooldown_s:
+            self.state = HALF_OPEN
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = CLOSED
+        self.opened_at = None
+
+    def record_failure(self, fatal: bool = False) -> bool:
+        """Record one failed launch; returns True when this trips open."""
+        self.consecutive_failures += 1
+        should_trip = (
+            fatal
+            or self.state == HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        )
+        if should_trip and self.state != OPEN:
+            self.state = OPEN
+            self.opened_at = self.clock()
+            self.trips += 1
+            return True
+        if should_trip:
+            # already open (e.g. a straggling failure): refresh the cooldown
+            self.opened_at = self.clock()
+        return False

@@ -29,13 +29,14 @@ import scipy.sparse as sp
 from repro.core.pipeline import ComposePlan, LiteForm, OverheadBreakdown
 from repro.formats.base import VALUE_DTYPE, as_csr
 from repro.formats.csr import CSRFormat
-from repro.gpu.device import SimulatedDevice, SimulatedOOMError
+from repro.gpu.device import DeviceLostError, SimulatedDevice, SimulatedOOMError
 from repro.gpu.stats import Measurement
 from repro.kernels.csr_spmm import RowSplitCSRSpMM
 from repro.obs import get_tracer
 from repro.serve.fingerprint import fingerprint_csr, plan_key
 from repro.serve.metrics import ServerMetrics
 from repro.serve.plan_cache import PlanCache
+from repro.serve.resilience import CircuitBreaker, RetryPolicy
 
 
 @dataclass
@@ -71,15 +72,29 @@ class SpMMResponse:
     #: fingerprint+lookup on a hit, full compose on a miss, CSR build on
     #: the degraded path.
     compose_overhead_s: float
-    #: ``compose_overhead_s`` + simulated execution time.
+    #: ``compose_overhead_s`` + retry backoff + simulated execution time.
     latency_ms: float
+    #: Total executions tried (1 = no retries needed).
+    attempts: int = 1
+    #: At least one attempt failed but the request ultimately succeeded.
+    recovered: bool = False
+    #: Retry backoff accounted into :attr:`latency_ms`.
+    backoff_ms: float = 0.0
+    #: The plan was rebuilt as CSR after a structural OOM.
+    degraded_oom: bool = False
 
 
 @dataclass
 class _DeviceSlot:
     device: SimulatedDevice
+    breaker: CircuitBreaker
     busy_s: float = 0.0
+    #: Requests successfully served by this device.
     requests: int = 0
+    #: Failed execution attempts on this device (transient OOMs, losses).
+    failures: int = 0
+    #: The device raised :class:`DeviceLostError` at least once.
+    lost: bool = False
 
 
 @dataclass
@@ -93,6 +108,15 @@ class SpMMServer:
     #: Smoothing factor of the per-nnz composition-cost estimate.
     overhead_ewma_alpha: float = 0.3
     metrics: ServerMetrics = field(default_factory=ServerMetrics)
+    #: Bounded-retry policy for transient execution faults.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Rebuild the plan as CSR (smaller footprint) on a structural OOM
+    #: instead of failing the request.
+    degrade_on_oom: bool = True
+    #: Consecutive failures before a device's circuit breaker opens.
+    breaker_threshold: int = 3
+    #: Seconds an open breaker waits before admitting a probe request.
+    breaker_cooldown_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.devices is None:
@@ -101,7 +125,16 @@ class SpMMServer:
             self.devices = [SimulatedDevice() for _ in range(self.num_devices)]
         if not self.devices:
             raise ValueError("device pool must not be empty")
-        self._slots = [_DeviceSlot(device=d) for d in self.devices]
+        self._slots = [
+            _DeviceSlot(
+                device=d,
+                breaker=CircuitBreaker(
+                    failure_threshold=self.breaker_threshold,
+                    cooldown_s=self.breaker_cooldown_s,
+                ),
+            )
+            for d in self.devices
+        ]
         #: EWMA of compose seconds per non-zero, None until the first compose.
         self._compose_s_per_nnz: float | None = None
 
@@ -125,8 +158,19 @@ class SpMMServer:
     @staticmethod
     def _canonical(matrix: sp.spmatrix | np.ndarray) -> sp.csr_matrix:
         """Canonicalize once per request; already-canonical float32 CSR
-        (everything the generators and workload produce) passes through."""
-        if sp.issparse(matrix) and matrix.format == "csr" and matrix.dtype == VALUE_DTYPE:
+        (everything the generators and workload produce) passes through.
+
+        The fast path requires ``has_canonical_format`` (sorted indices,
+        no duplicates): :func:`fingerprint_csr` and the kernels assume
+        canonical CSR, and letting a user-supplied unsorted/duplicated
+        matrix through would give the same logical matrix two cache keys.
+        """
+        if (
+            sp.issparse(matrix)
+            and matrix.format == "csr"
+            and matrix.dtype == VALUE_DTYPE
+            and matrix.has_canonical_format
+        ):
             return matrix
         return as_csr(matrix)
 
@@ -143,8 +187,119 @@ class SpMMServer:
             overhead=OverheadBreakdown(0.0, 0.0, 0.0, build_s),
         )
 
-    def _pick_device(self) -> int:
-        return min(range(len(self._slots)), key=lambda i: self._slots[i].busy_s)
+    def _pick_device(self, exclude: set[int] | frozenset[int] = frozenset()) -> int:
+        """Least-busy device whose breaker admits traffic.
+
+        ``exclude`` holds devices that already failed this request (retries
+        prefer somewhere else).  Degrades gracefully: if every breaker is
+        open (or everything is excluded) the least-busy device overall is
+        used — serving on a suspect device beats not serving at all.
+        """
+        allowed = [i for i, s in enumerate(self._slots) if s.breaker.allow()]
+        candidates = [i for i in allowed if i not in exclude] or allowed
+        if not candidates:
+            candidates = list(range(len(self._slots)))
+        return min(candidates, key=lambda i: self._slots[i].busy_s)
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self, A: sp.csr_matrix, plan: ComposePlan, request: SpMMRequest
+    ) -> dict:
+        """Run ``plan`` with bounded retry, breaker updates, and OOM
+        degradation; returns the execution outcome as a dict.
+
+        Recovery rules, per failed attempt:
+
+        * transient OOM (``not err.is_structural``) or device loss —
+          record on the device's breaker, retry on the least-busy other
+          device with exponential backoff, up to ``retry.max_attempts``
+          total executions;
+        * structural OOM — retrying cannot help; if :attr:`degrade_on_oom`
+          and the plan is not already plain CSR, rebuild it as CSR (the
+          smallest-footprint format) and execute that, otherwise fail.
+        """
+        m = self.metrics
+        tracer = get_tracer()
+        attempts = 0
+        backoff_ms = 0.0
+        degraded_oom = False
+        had_failure = False
+        failed_on: set[int] = set()
+        C: np.ndarray | None = None
+        measurement: Measurement | None = None
+        slot_index = self._pick_device()
+        with tracer.span("execute", device=slot_index) as ex_span:
+            while True:
+                attempts += 1
+                slot = self._slots[slot_index]
+                try:
+                    with tracer.span("attempt", device=slot_index, attempt=attempts):
+                        if request.B is not None:
+                            C, measurement = plan.kernel.run(
+                                plan.fmt, request.B, slot.device
+                            )
+                        else:
+                            measurement = plan.kernel.measure(
+                                plan.fmt, request.J, slot.device
+                            )
+                    slot.breaker.record_success()
+                    slot.requests += 1
+                    slot.busy_s += measurement.time_s
+                    failed = False
+                    break
+                except SimulatedOOMError as err:
+                    if err.is_structural:
+                        # No device of the homogeneous pool can fit this
+                        # working set; the only recovery is a smaller format.
+                        if self.degrade_on_oom and not isinstance(
+                            plan.fmt, CSRFormat
+                        ):
+                            with tracer.span("oom_degrade", nnz=A.nnz):
+                                plan = self._fallback_plan(A)
+                            degraded_oom = True
+                            m.oom_degraded += 1
+                            continue  # fresh plan, not a retry
+                        slot.failures += 1
+                        failed = True
+                        break
+                    had_failure = True
+                    slot.failures += 1
+                    if slot.breaker.record_failure():
+                        m.breaker_open += 1
+                except DeviceLostError:
+                    had_failure = True
+                    slot.failures += 1
+                    slot.lost = True
+                    m.device_lost += 1
+                    if slot.breaker.record_failure(fatal=True):
+                        m.breaker_open += 1
+                retries_used = attempts - 1
+                if attempts >= self.retry.max_attempts:
+                    failed = True
+                    break
+                m.retries += 1
+                backoff_ms += self.retry.pause(retries_used + 1)
+                failed_on.add(slot_index)
+                slot_index = self._pick_device(exclude=failed_on)
+            recovered = had_failure and not failed
+            ex_span.set(
+                attempts=attempts,
+                failed=failed,
+                recovered=recovered,
+                degraded_oom=degraded_oom,
+                backoff_ms=round(backoff_ms, 4),
+            )
+        return {
+            "plan": plan,
+            "C": C,
+            "measurement": measurement,
+            "slot_index": slot_index,
+            "failed": failed,
+            "attempts": attempts,
+            "recovered": recovered,
+            "backoff_ms": backoff_ms,
+            "degraded_oom": degraded_oom,
+        }
 
     # ------------------------------------------------------------------
     def serve(self, request: SpMMRequest) -> SpMMResponse:
@@ -204,23 +359,16 @@ class SpMMServer:
                     m.compose_spent_s += plan.overhead.total_s
                     self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
 
-            slot_index = self._pick_device()
-            slot = self._slots[slot_index]
-            C: np.ndarray | None = None
-            measurement: Measurement | None = None
-            failed = False
-            with tracer.span("execute", device=slot_index):
-                try:
-                    if request.B is not None:
-                        C, measurement = plan.kernel.run(plan.fmt, request.B, slot.device)
-                    else:
-                        measurement = plan.kernel.measure(plan.fmt, request.J, slot.device)
-                except SimulatedOOMError:
-                    failed = True
-                    m.failed += 1
+            outcome = self._execute(A, plan, request)
+            plan = outcome["plan"]
+            measurement = outcome["measurement"]
+            failed = outcome["failed"]
+            if outcome["degraded_oom"] and not failed:
+                # Pin the degraded CSR plan under this key: later requests
+                # for the same (matrix, J) must not re-pay the structural
+                # OOM and the rebuild on every hit.
+                self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
             exec_ms = measurement.time_ms if measurement is not None else 0.0
-            slot.busy_s += exec_ms * 1e-3
-            slot.requests += 1
 
             overhead_ms = overhead_s * 1e3
             deadline_missed = (
@@ -228,8 +376,17 @@ class SpMMServer:
             )
             if deadline_missed:
                 m.deadline_misses += 1
-            latency_ms = overhead_ms + exec_ms
-            m.observe_latency(exec_ms, latency_ms)
+            latency_ms = overhead_ms + outcome["backoff_ms"] + exec_ms
+            if failed:
+                # Failed requests never enter the success latency series —
+                # a 0 ms "latency" would drag p50/p95 down (they are tracked
+                # separately, with the retry cost they actually paid).
+                m.failed += 1
+                m.observe_failed_latency(latency_ms)
+            else:
+                if outcome["recovered"]:
+                    m.recovered += 1
+                m.observe_latency(exec_ms, latency_ms)
             req_span.set(
                 cache_hit=entry is not None,
                 degraded=degraded,
@@ -238,7 +395,7 @@ class SpMMServer:
                 sim_exec_ms=exec_ms,
             )
         return SpMMResponse(
-            C=C,
+            C=outcome["C"],
             measurement=measurement,
             plan=plan,
             key=key,
@@ -246,9 +403,13 @@ class SpMMServer:
             degraded=degraded,
             deadline_missed=deadline_missed,
             failed=failed,
-            device_index=slot_index,
+            device_index=outcome["slot_index"],
             compose_overhead_s=overhead_s,
             latency_ms=latency_ms,
+            attempts=outcome["attempts"],
+            recovered=outcome["recovered"],
+            backoff_ms=outcome["backoff_ms"],
+            degraded_oom=outcome["degraded_oom"],
         )
 
     def replay(self, requests: list[SpMMRequest]) -> ServerMetrics:
@@ -268,7 +429,15 @@ class SpMMServer:
         out = self.metrics.snapshot()
         out["cache"] = self.cache.stats()
         out["devices"] = [
-            {"index": i, "busy_s": s.busy_s, "requests": s.requests}
+            {
+                "index": i,
+                "busy_s": s.busy_s,
+                "requests": s.requests,
+                "failures": s.failures,
+                "lost": s.lost,
+                "breaker": s.breaker.state,
+                "breaker_trips": s.breaker.trips,
+            }
             for i, s in enumerate(self._slots)
         ]
         return out
@@ -283,8 +452,11 @@ class SpMMServer:
             f"{c['evictions']} evictions, {c['rejected']} rejected)",
         ]
         for i, s in enumerate(self._slots):
+            health = f", breaker {s.breaker.state}" if s.breaker.state != "closed" else ""
+            lost = ", LOST" if s.lost else ""
             lines.append(
                 f"device[{i}]           {s.requests} requests, "
-                f"{s.busy_s * 1e3:.3f} ms simulated busy"
+                f"{s.failures} failed attempts, "
+                f"{s.busy_s * 1e3:.3f} ms simulated busy{health}{lost}"
             )
         return "\n".join(lines)

@@ -108,8 +108,12 @@ class TestTracedServeRoundTrip:
         tracer, _, _ = traced_run
         launches = [s for s in tracer.spans if s.name == "kernel_launch"]
         assert launches
+        # launches nest under per-try "attempt" spans, which nest under
+        # the request's "execute" span
+        attempts = {s.span_id: s for s in tracer.spans if s.name == "attempt"}
         executes = {s.span_id for s in tracer.spans if s.name == "execute"}
-        assert all(k.parent_id in executes for k in launches)
+        assert all(k.parent_id in attempts for k in launches)
+        assert all(a.parent_id in executes for a in attempts.values())
 
     def test_trace_covers_nearly_all_wall_time(self, traced_run):
         tracer, _, _ = traced_run

@@ -122,3 +122,60 @@ class TestSpill:
         warmed = PlanCache.load(path, max_bytes=smallest)
         assert warmed.total_bytes <= smallest
         assert len(warmed) <= 1
+
+    def test_load_into_smaller_budget_does_not_pollute_counters(self, tmp_path, plans):
+        """Regression: warm-start evictions/rejections are not traffic."""
+        cache = PlanCache(max_bytes=1 << 30)
+        for k, p in plans.items():
+            cache.put(k, p)
+        path = tmp_path / "cache.pkl"
+        cache.save(path)
+        # loading into a budget fitting only the smallest plan forces the
+        # put() loop to evict/reject — none of which is request traffic
+        smallest = min(p.fmt.footprint_bytes for p in plans.values())
+        warmed = PlanCache.load(path, max_bytes=smallest)
+        assert warmed.evictions == 0
+        assert warmed.rejected == 0
+        assert warmed.hits == 0 and warmed.misses == 0
+
+    def test_save_load_round_trip_smaller_budget_entries_usable(self, tmp_path, plans):
+        """Surviving entries of a shrunken warm start still serve plans."""
+        cache = PlanCache(max_bytes=1 << 30)
+        for k, p in plans.items():
+            cache.put(k, p, compose_overhead_s=0.2)
+        path = tmp_path / "cache.pkl"
+        cache.save(path)
+        sizes = {k: p.fmt.footprint_bytes for k, p in plans.items()}
+        budget = sizes["k2"] + sizes["k3"]  # room for the two loaded last
+        warmed = PlanCache.load(path, max_bytes=budget)
+        assert warmed.total_bytes <= budget
+        assert len(warmed) >= 1
+        survivor = warmed.keys()[-1]  # most recently loaded survives
+        entry = warmed.get(survivor)
+        assert entry is not None
+        assert entry.compose_overhead_s == pytest.approx(0.2)
+        assert entry.plan.fmt.to_csr().nnz == plans[survivor].fmt.to_csr().nnz
+
+
+class TestEvictionControlFlow:
+    """put() must stay correct without assertions (python -O)."""
+
+    def test_refresh_with_larger_plan_evicts_others_not_itself(self, plans):
+        sizes = {k: p.fmt.footprint_bytes for k, p in plans.items()}
+        budget = sizes["k0"] + sizes["k3"] - 1  # k0 + k3 cannot coexist
+        cache = PlanCache(max_bytes=budget)
+        cache.put("k0", plans["k0"])
+        cache.put("small", plans["k0"])
+        # refreshing "small" with the bigger k3 plan must evict k0, never
+        # the entry being inserted
+        assert cache.put("small", plans["k3"])
+        assert "small" in cache and "k0" not in cache
+        assert cache.total_bytes == sizes["k3"]
+        assert cache.total_bytes <= budget
+
+    def test_exact_fit_insert_does_not_evict_fresh_entry(self, plans):
+        size = plans["k1"].fmt.footprint_bytes
+        cache = PlanCache(max_bytes=size)
+        assert cache.put("k1", plans["k1"])
+        assert "k1" in cache and cache.total_bytes == size
+        assert cache.evictions == 0

@@ -73,6 +73,23 @@ class TestCollisionResistance:
             != fingerprint_csr(as_csr(other)).key
         )
 
+    def test_over_budget_sampling_still_discriminates_moved_nonzero(self):
+        """Chunk-sampled (over-budget) arrays must still see a moved entry."""
+        budget = 4096
+        rows, row_nnz, cols = 40, 50, 4096
+        indptr = np.arange(rows + 1, dtype=np.int32) * row_nnz
+        indices = np.tile(np.arange(row_nnz, dtype=np.int32) * 2, rows)
+        data = np.ones(rows * row_nnz, dtype=np.float32)
+        A = sp.csr_matrix((data, indices.copy(), indptr), shape=(rows, cols))
+        # indices/data are > budget, so both are chunk-sampled
+        assert A.indices.nbytes > budget and A.data.nbytes > budget
+        moved = indices.copy()
+        moved[2] += 1  # move one non-zero; stays sorted, no duplicate
+        B = sp.csr_matrix((data, moved, indptr), shape=(rows, cols))
+        a = fingerprint_csr(A, sample_budget_bytes=budget)
+        b = fingerprint_csr(B, sample_budget_bytes=budget)
+        assert a.key != b.key
+
 
 class TestValidation:
     def test_rejects_non_csr(self):

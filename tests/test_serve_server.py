@@ -2,8 +2,10 @@
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.core import LiteForm, generate_training_data
+from repro.formats.base import as_csr
 from repro.kernels import spmm_reference
 from repro.matrices import SuiteSparseLikeCollection, power_law_graph
 from repro.serve import PlanCache, SpMMRequest, SpMMServer
@@ -67,6 +69,39 @@ class TestCaching:
         resp = server.serve(SpMMRequest(matrix=req.matrix, B=None, J=32))
         assert resp.C is None
         assert resp.measurement is not None and resp.measurement.time_s > 0
+
+    def test_non_canonical_csr_shares_key_with_canonical(self, server):
+        """Regression: an unsorted-indices CSR must not bypass as_csr —
+        the same logical matrix would get a second cache key and kernels
+        would see unsorted indices."""
+        A = power_law_graph(300, 5, seed=16)
+        indices, data = A.indices.copy(), A.data.copy()
+        for i in range(A.shape[0]):  # reverse each row's column order
+            lo, hi = A.indptr[i], A.indptr[i + 1]
+            indices[lo:hi] = indices[lo:hi][::-1]
+            data[lo:hi] = data[lo:hi][::-1]
+        unsorted = sp.csr_matrix((data, indices, A.indptr.copy()), shape=A.shape)
+        assert not unsorted.has_canonical_format
+        first = server.serve(SpMMRequest(matrix=A, B=None, J=32))
+        second = server.serve(SpMMRequest(matrix=unsorted, B=None, J=32))
+        assert second.key == first.key
+        assert second.cache_hit
+
+    def test_duplicate_entries_csr_shares_key_with_summed(self, server):
+        """A CSR carrying duplicate (row, col) entries is canonicalized."""
+        dup = sp.csr_matrix(
+            (
+                np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32),
+                np.array([1, 1, 2, 3]),
+                np.array([0, 2, 4]),
+            ),
+            shape=(2, 4),
+        )
+        summed = as_csr(dup.copy())
+        assert summed.nnz == 3  # the duplicate collapsed
+        r1 = server.serve(SpMMRequest(matrix=dup, B=None, J=32))
+        r2 = server.serve(SpMMRequest(matrix=summed, B=None, J=32))
+        assert r1.key == r2.key and r2.cache_hit
 
 
 class TestAdmissionControl:
