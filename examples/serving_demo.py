@@ -13,17 +13,21 @@ This demo:
 3. replays a latency-sensitive tier with a composition deadline, showing
    admission control degrading to the CSR fallback instead of blocking,
 4. prints the metrics snapshot, a span flame summary, and writes a
-   Chrome trace (open serving_demo_trace.json in https://ui.perfetto.dev).
+   Chrome trace (open build/serving_demo_trace.json in
+   https://ui.perfetto.dev).
 
 Run:  python examples/serving_demo.py
 """
+
+from pathlib import Path
 
 from repro.core import LiteForm, generate_training_data
 from repro.matrices import SuiteSparseLikeCollection
 from repro.obs import tracing
 from repro.serve import PlanCache, SpMMServer, WorkloadSpec, generate_workload
 
-TRACE_PATH = "serving_demo_trace.json"
+#: Trace output lives under build/ (gitignored), not the repo root.
+TRACE_PATH = Path("build") / "serving_demo_trace.json"
 
 
 def main() -> None:
@@ -50,6 +54,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     # Where did the time go?  The tracer recorded a span per request with
     # children for cache lookup, compose stages, and kernel launches.
+    TRACE_PATH.parent.mkdir(parents=True, exist_ok=True)
     out = tracer.write(TRACE_PATH)
     print(f"\n--- trace: {len(tracer.spans)} spans "
           f"({tracer.coverage():.0%} of wall time), written to {out} ---")

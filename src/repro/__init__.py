@@ -47,49 +47,28 @@ def spmm(
     (C, measurement):
         The numeric product and the simulated-device measurement.
     """
-    from repro.formats import (
-        BCSRFormat,
-        CELLFormat,
-        CSRFormat,
-        ELLFormat,
-        SlicedELLFormat,
-    )
     from repro.formats.base import as_csr
     from repro.gpu import SimulatedDevice
-    from repro.kernels import (
-        BCSRSpMM,
-        CELLSpMM,
-        DgSparseSpMM,
-        ELLSpMM,
-        RowSplitCSRSpMM,
-        SlicedELLSpMM,
-        SputnikSpMM,
-        TacoSpMM,
-    )
+    from repro.kernels.registry import resolve
 
-    registry = {
-        "cell": (CELLFormat, CELLSpMM),
-        "csr": (CSRFormat, RowSplitCSRSpMM),
-        "sputnik": (CSRFormat, SputnikSpMM),
-        "dgsparse": (CSRFormat, DgSparseSpMM),
-        "taco": (CSRFormat, TacoSpMM),
-        "bcsr": (BCSRFormat, BCSRSpMM),
-        "ell": (ELLFormat, ELLSpMM),
-        "sliced-ell": (SlicedELLFormat, SlicedELLSpMM),
-    }
-    try:
-        fmt_cls, kernel_cls = registry[method]
-    except KeyError:
-        raise ValueError(
-            f"unknown method {method!r}; choose from {sorted(registry)}"
-        ) from None
+    fmt_cls, kernel_cls = resolve(method)
     fmt = fmt_cls.from_csr(as_csr(A), **format_kwargs)
     return kernel_cls().run(fmt, np.asarray(B), device or SimulatedDevice())
 
 
 #: Serving-layer names importable from the top level (resolved lazily so
 #: ``import repro`` stays light).
-_SERVE_EXPORTS = ("SpMMServer", "SpMMRequest", "PlanCache")
+_SERVE_EXPORTS = (
+    "SpMMServer",
+    "SpMMRequest",
+    "SpMMResponse",
+    "ResponseStatus",
+    "PlanCache",
+    "WorkloadSpec",
+    "generate_workload",
+    "Scheduler",
+    "Batcher",
+)
 
 
 def __getattr__(name: str):

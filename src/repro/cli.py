@@ -15,7 +15,12 @@ Commands
     (plan caching, admission control, device pool) and print the metrics
     report.  ``--faults`` / ``--death-rate`` / ``--spike-rate`` inject
     seeded chaos into the device pool; ``--retries`` and ``--no-degrade``
-    control the recovery policy.
+    control the recovery policy.  ``--batch N`` switches to the open-loop
+    :class:`repro.serve.Scheduler` — requests sharing a plan key are
+    coalesced into fused launches of up to ``N`` — with ``--max-wait-ms``
+    (batch timeout), ``--arrival-rate`` (Poisson arrivals, requests per
+    simulated second), and ``--max-queue`` (backpressure bound; overflow
+    is shed to the degraded path).
 ``info``
     Print format statistics (padding, footprint) for every format on the
     input matrix (``--profile`` adds per-kernel roofline profiles).
@@ -199,6 +204,7 @@ def cmd_serve(args) -> int:
         deadline_ms=args.deadline_ms,
         deadline_fraction=args.deadline_fraction if args.deadline_ms else 0.0,
         with_operands=not args.measure_only,
+        arrival_rate_rps=args.arrival_rate,
         seed=args.seed,
     )
     lf = _get_liteform(args)
@@ -238,6 +244,22 @@ def cmd_serve(args) -> int:
         degrade_on_oom=not args.no_degrade,
     )
     requests = generate_workload(spec)
+    if args.batch:
+        from repro.serve import Scheduler
+
+        scheduler = Scheduler(
+            server=server,
+            max_batch=args.batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+        )
+        with _maybe_trace(args):
+            scheduler.replay(requests)
+        if args.json:
+            print(json.dumps(scheduler.snapshot(), indent=2))
+        else:
+            print(scheduler.report())
+        return 0
     # The trace region covers exactly the replay, so the exported spans
     # account for (nearly) all of the traced wall time.
     with _maybe_trace(args):
@@ -297,23 +319,13 @@ def cmd_info(args) -> int:
         print(f"{name:18s} {fmt.stored_elements:12d} {fmt.padding_ratio:8.1%} "
               f"{fmt.footprint_bytes / 2**20:9.2f}")
     if getattr(args, "profile", False):
-        from repro.kernels import (
-            BCSRSpMM,
-            CELLSpMM,
-            ELLSpMM,
-            RowSplitCSRSpMM,
-            SlicedELLSpMM,
-        )
+        from repro.kernels.registry import available_methods, resolve
 
         device = SimulatedDevice()
         print(f"\nkernel profiles at J={args.J} ({device.spec.name}):")
-        for name, fmt, kernel in [
-            ("CSR row-split", CSRFormat.from_csr(A), RowSplitCSRSpMM()),
-            ("ELL", ELLFormat.from_csr(A), ELLSpMM()),
-            ("Sliced-ELL", SlicedELLFormat.from_csr(A), SlicedELLSpMM()),
-            ("BCSR 8x8", BCSRFormat.from_csr(A, block_shape=(8, 8)), BCSRSpMM()),
-            ("CELL natural", CELLFormat.from_csr(A), CELLSpMM()),
-        ]:
+        for name in available_methods():
+            fmt_cls, kernel_cls = resolve(name)
+            fmt, kernel = fmt_cls.from_csr(A), kernel_cls()
             print(f"\n-- {name} --")
             try:
                 m = kernel.measure(fmt, args.J, device)
@@ -380,6 +392,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="disable CSR degradation on structural OOM")
     sp.add_argument("--measure-only", action="store_true",
                     help="skip numeric execution, time the kernels only")
+    sp.add_argument("--batch", type=int, default=0, metavar="N",
+                    help="coalesce up to N same-plan requests per launch "
+                         "via the open-loop batched scheduler (0 = off)")
+    sp.add_argument("--max-wait-ms", type=float, default=2.0,
+                    help="longest simulated wait before a partial batch "
+                         "dispatches anyway")
+    sp.add_argument("--arrival-rate", type=float, default=None, metavar="RPS",
+                    help="Poisson arrival rate in requests per simulated "
+                         "second (default: untimed closed-loop trace)")
+    sp.add_argument("--max-queue", type=int, default=None, metavar="N",
+                    help="bounded scheduler queue; overflow arrivals are "
+                         "shed to the degraded path (default: unbounded)")
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument("--models", help="saved LiteForm models (from `train`)")
     sp.add_argument("--train-size", type=int, default=12,

@@ -1,0 +1,67 @@
+"""Single source of truth for the ``method -> (Format, Kernel)`` table.
+
+The one-call :func:`repro.spmm` API, the CLI, and the benchmarks all need
+to map a user-facing method name (``"cell"``, ``"csr"``, ``"sputnik"``,
+...) to the format class that stores the matrix and the kernel class that
+executes it.  Before this module each consumer carried its own copy of
+that table, so adding a method (or renaming one) meant hunting down every
+inline dict.  ``resolve`` is the one lookup; ``available_methods`` is the
+one listing; :exc:`ValueError` with a consistent message is the one
+unknown-method error.
+
+The registry maps names to *classes*, not instances: kernels are cheap,
+stateless-by-default objects, and some callers want constructor kwargs
+(e.g. ``CELLFormat.from_csr(..., num_partitions=4)``), so instantiation
+stays with the caller.
+"""
+
+from __future__ import annotations
+
+from repro.formats import (
+    BCSRFormat,
+    CELLFormat,
+    CSRFormat,
+    ELLFormat,
+    SlicedELLFormat,
+)
+from repro.formats.base import SparseFormat
+from repro.kernels.base import SpMMKernel
+from repro.kernels.bcsr_spmm import BCSRSpMM
+from repro.kernels.cell_spmm import CELLSpMM
+from repro.kernels.csr_spmm import DgSparseSpMM, RowSplitCSRSpMM, SputnikSpMM
+from repro.kernels.ell_spmm import ELLSpMM, SlicedELLSpMM
+from repro.kernels.taco_spmm import TacoSpMM
+
+#: The canonical method table.  Keys are the names accepted by
+#: :func:`repro.spmm` and printed by the CLI; values are
+#: ``(format_class, kernel_class)`` pairs.
+KERNEL_REGISTRY: dict[str, tuple[type[SparseFormat], type[SpMMKernel]]] = {
+    "cell": (CELLFormat, CELLSpMM),
+    "csr": (CSRFormat, RowSplitCSRSpMM),
+    "sputnik": (CSRFormat, SputnikSpMM),
+    "dgsparse": (CSRFormat, DgSparseSpMM),
+    "taco": (CSRFormat, TacoSpMM),
+    "bcsr": (BCSRFormat, BCSRSpMM),
+    "ell": (ELLFormat, ELLSpMM),
+    "sliced-ell": (SlicedELLFormat, SlicedELLSpMM),
+}
+
+
+def available_methods() -> tuple[str, ...]:
+    """All method names, sorted — the listing every error message cites."""
+    return tuple(sorted(KERNEL_REGISTRY))
+
+
+def resolve(method: str) -> tuple[type[SparseFormat], type[SpMMKernel]]:
+    """Look up ``(format_class, kernel_class)`` for a method name.
+
+    Raises the repo-wide unknown-method :exc:`ValueError` otherwise, so
+    ``repro.spmm``, the CLI, and the benchmarks all fail with the same
+    message.
+    """
+    try:
+        return KERNEL_REGISTRY[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {list(available_methods())}"
+        ) from None

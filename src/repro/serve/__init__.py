@@ -15,18 +15,35 @@ across per-device circuit breakers
 (:class:`~repro.serve.resilience.CircuitBreaker`), and a structural OOM
 degrades the plan to CSR instead of failing the request.
 :mod:`~repro.serve.workload` generates seeded Zipf-distributed request
-traffic for replay; :mod:`~repro.serve.metrics` aggregates the serving
-counters and latency percentiles.
+traffic for replay — optionally timed with Poisson/burst ``arrival_ms``
+stamps — and :mod:`~repro.serve.metrics` aggregates the serving counters
+and latency percentiles.
 
-See docs/SERVING.md for cache keying, eviction, deadline, and resilience
-semantics.
+The serving surface is async-style (``submit() / poll() / drain()``,
+with ``serve(request)`` as the one-request wrapper), implemented both by
+the server and by :class:`~repro.serve.scheduler.Scheduler`, the
+open-loop batched scheduler: a
+:class:`~repro.serve.scheduler.Batcher` coalesces queued requests that
+share a ``(fingerprint, J)`` plan key into one fused launch (operands
+stacked column-wise, results split back bit-identically), dispatches
+earliest-deadline-first with queueing delay charged against deadlines,
+and sheds arrivals to the degraded path when its bounded queue is full.
+
+See docs/SERVING.md for cache keying, eviction, deadline, batching, and
+resilience semantics.
 """
 
 from repro.serve.fingerprint import MatrixFingerprint, fingerprint_csr, plan_key
 from repro.serve.metrics import LatencySeries, ServerMetrics
 from repro.serve.plan_cache import CACHE_MAGIC, CacheEntry, PlanCache
 from repro.serve.resilience import CircuitBreaker, RetryPolicy
-from repro.serve.server import SpMMRequest, SpMMResponse, SpMMServer
+from repro.serve.scheduler import Batcher, Scheduler, SchedulerMetrics
+from repro.serve.server import (
+    ResponseStatus,
+    SpMMRequest,
+    SpMMResponse,
+    SpMMServer,
+)
 from repro.serve.workload import WorkloadSpec, generate_workload, zipf_weights
 
 __all__ = [
@@ -40,6 +57,10 @@ __all__ = [
     "CACHE_MAGIC",
     "LatencySeries",
     "ServerMetrics",
+    "SchedulerMetrics",
+    "Batcher",
+    "Scheduler",
+    "ResponseStatus",
     "SpMMRequest",
     "SpMMResponse",
     "SpMMServer",

@@ -11,17 +11,37 @@ and (4) executes on the least-loaded device of a homogeneous pool (the
 same shortest-queue idea :mod:`repro.gpu.multi` uses for shard
 placement, applied across requests instead of within one).
 
+The serving surface is async-style: :meth:`SpMMServer.submit` enqueues a
+request and returns a ticket, :meth:`SpMMServer.poll` retrieves one
+completed response, :meth:`SpMMServer.drain` completes everything
+pending.  :meth:`SpMMServer.serve` is the one-request convenience
+wrapper over that surface (submit + drain + claim), kept source
+compatible with the original blocking API.  The same surface is
+implemented by :class:`repro.serve.scheduler.Scheduler`, which adds
+open-loop queueing and fingerprint-coalesced micro-batching on top.
+
+:meth:`SpMMServer.serve_batch` serves a group of requests that share one
+``(fingerprint, J)`` cache key with a *single* plan lookup/compose and a
+single fused launch: the dense operands are stacked column-wise into one
+``(K, n*J)`` operand, executed once, and split back per request.  Column
+``j`` of the result depends only on column ``j`` of the operand, so the
+per-request slices are bit-identical to individually served results.
+
 Deadlines bound the *composition overhead* (time until the kernel can be
 launched), not the simulated kernel time — execution cost is intrinsic
 to the workload, while composition overhead is the part the paper (and
-admission control) can do something about.  A degraded request can
-therefore still "miss" only by the cost of building CSR itself.
+admission control) can do something about.  Queueing delay (reported by
+the scheduler as ``queue_wait_ms``) also counts against the deadline: a
+request that waited 3 ms of a 5 ms deadline has only 2 ms of composition
+budget left.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
+from enum import Enum
 
 import numpy as np
 import scipy.sparse as sp
@@ -39,6 +59,23 @@ from repro.serve.plan_cache import PlanCache
 from repro.serve.resilience import CircuitBreaker, RetryPolicy
 
 
+class ResponseStatus(str, Enum):
+    """Structured outcome of one served request.
+
+    * ``OK`` — full-pipeline plan, executed successfully;
+    * ``DEGRADED`` — served, but on the CSR fallback plan (admission
+      control, backpressure shedding, or structural-OOM degradation);
+    * ``FAILED`` — every recovery path exhausted, no result.
+
+    The legacy boolean views (``response.failed``, ``response.degraded``)
+    remain available as read-only properties derived from this enum.
+    """
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+
 @dataclass
 class SpMMRequest:
     """One unit of traffic: multiply ``matrix @ B`` with ``J`` columns.
@@ -46,6 +83,9 @@ class SpMMRequest:
     ``B`` may be ``None`` for measure-only traffic (replay benchmarks that
     only need timing).  ``deadline_ms`` bounds the composition overhead;
     ``None`` means best-effort (always take the full pipeline).
+    ``arrival_ms`` is the request's position on the workload's virtual
+    timeline (0.0 for legacy closed-loop traces); the open-loop scheduler
+    replays arrivals at these timestamps.
     """
 
     matrix: sp.spmatrix
@@ -53,6 +93,7 @@ class SpMMRequest:
     J: int
     deadline_ms: float | None = None
     name: str = ""
+    arrival_ms: float = 0.0
 
 
 @dataclass
@@ -64,15 +105,19 @@ class SpMMResponse:
     plan: ComposePlan | None
     key: str
     cache_hit: bool
-    degraded: bool
+    #: Structured outcome; see :class:`ResponseStatus`.
+    status: ResponseStatus
+    #: Admission control (or backpressure shedding) served the CSR
+    #: fallback plan instead of running the pipeline.
+    admission_degraded: bool
     deadline_missed: bool
-    failed: bool
     device_index: int
     #: Composition overhead actually paid for this request (wall clock):
     #: fingerprint+lookup on a hit, full compose on a miss, CSR build on
     #: the degraded path.
     compose_overhead_s: float
-    #: ``compose_overhead_s`` + retry backoff + simulated execution time.
+    #: ``queue_wait_ms`` + ``compose_overhead_s`` + retry backoff +
+    #: simulated execution time.
     latency_ms: float
     #: Total executions tried (1 = no retries needed).
     attempts: int = 1
@@ -82,6 +127,28 @@ class SpMMResponse:
     backoff_ms: float = 0.0
     #: The plan was rebuilt as CSR after a structural OOM.
     degraded_oom: bool = False
+    #: Requests coalesced into the launch that served this one (1 = no
+    #: batching).  The shared :attr:`measurement` times the whole batch.
+    batch_size: int = 1
+    #: Virtual milliseconds spent queued before dispatch (scheduler only).
+    queue_wait_ms: float = 0.0
+    #: The scheduler's bounded queue was full; this request was shed to
+    #: the degraded CSR path instead of queueing.
+    shed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ResponseStatus.OK
+
+    @property
+    def failed(self) -> bool:
+        """Back-compat view of :attr:`status`."""
+        return self.status is ResponseStatus.FAILED
+
+    @property
+    def degraded(self) -> bool:
+        """Back-compat view: admission control took the fallback path."""
+        return self.admission_degraded
 
 
 @dataclass
@@ -137,6 +204,9 @@ class SpMMServer:
         ]
         #: EWMA of compose seconds per non-zero, None until the first compose.
         self._compose_s_per_nnz: float | None = None
+        self._next_ticket = 0
+        self._pending: deque[tuple[int, SpMMRequest]] = deque()
+        self._completed: dict[int, SpMMResponse] = {}
 
     # ------------------------------------------------------------------
     def estimate_compose_s(self, nnz: int) -> float | None:
@@ -203,10 +273,11 @@ class SpMMServer:
 
     # ------------------------------------------------------------------
     def _execute(
-        self, A: sp.csr_matrix, plan: ComposePlan, request: SpMMRequest
+        self, A: sp.csr_matrix, plan: ComposePlan, B: np.ndarray | None, J: int
     ) -> dict:
-        """Run ``plan`` with bounded retry, breaker updates, and OOM
-        degradation; returns the execution outcome as a dict.
+        """Run ``plan`` against operand ``B`` (or measure-only at width
+        ``J``) with bounded retry, breaker updates, and OOM degradation;
+        returns the execution outcome as a dict.
 
         Recovery rules, per failed attempt:
 
@@ -234,13 +305,13 @@ class SpMMServer:
                 slot = self._slots[slot_index]
                 try:
                     with tracer.span("attempt", device=slot_index, attempt=attempts):
-                        if request.B is not None:
+                        if B is not None:
                             C, measurement = plan.kernel.run(
-                                plan.fmt, request.B, slot.device
+                                plan.fmt, B, slot.device
                             )
                         else:
                             measurement = plan.kernel.measure(
-                                plan.fmt, request.J, slot.device
+                                plan.fmt, J, slot.device
                             )
                     slot.breaker.record_success()
                     slot.requests += 1
@@ -302,7 +373,73 @@ class SpMMServer:
         }
 
     # ------------------------------------------------------------------
-    def serve(self, request: SpMMRequest) -> SpMMResponse:
+    def _prepare_plan(
+        self,
+        A: sp.csr_matrix,
+        key: str,
+        t0: float,
+        effective_deadline_ms: float | None,
+        force_degrade: bool,
+    ) -> tuple[ComposePlan, bool, bool, float]:
+        """Cache lookup → admission → compose-or-fallback, shared by the
+        single-request and batched paths.
+
+        Returns ``(plan, cache_hit, admission_degraded, overhead_s)``.
+        ``effective_deadline_ms`` is the request's (or batch's tightest)
+        deadline with queueing delay already subtracted; ``force_degrade``
+        (backpressure shedding) skips the pipeline on a miss outright.
+        """
+        m = self.metrics
+        tracer = get_tracer()
+        entry = self.cache.get(key)
+        if entry is not None:
+            m.cache_hits += 1
+            m.compose_saved_s += entry.compose_overhead_s
+            return entry.plan, True, False, time.perf_counter() - t0
+
+        m.cache_misses += 1
+        with tracer.span("admission") as adm_span:
+            estimate = self.estimate_compose_s(A.nnz)
+            degraded = force_degrade or (
+                effective_deadline_ms is not None
+                and estimate is not None
+                and estimate * 1e3 > effective_deadline_ms
+            )
+            adm_span.set(
+                admitted=not degraded,
+                forced=force_degrade,
+                estimate_ms=None if estimate is None else estimate * 1e3,
+            )
+        if degraded:
+            with tracer.span("degraded_build"):
+                plan = self._fallback_plan(A)
+            # degraded plans are intentionally NOT cached: a later
+            # best-effort request for the same matrix should get the
+            # full pipeline, not a pinned fallback.
+            return plan, False, True, time.perf_counter() - t0
+        with tracer.span("compose", nnz=A.nnz):
+            plan = self.liteform.compose_csr(A, max(1, self._plan_J(key)))
+        self._observe_compose(A.nnz, plan.overhead.total_s)
+        m.compose_spent_s += plan.overhead.total_s
+        self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
+        return plan, False, False, time.perf_counter() - t0
+
+    @staticmethod
+    def _plan_J(key: str) -> int:
+        """Recover ``J`` from a plan key (``.../J<width>``)."""
+        return int(key.rsplit("/J", 1)[1])
+
+    # ------------------------------------------------------------------
+    def _serve_one(
+        self,
+        request: SpMMRequest,
+        *,
+        queue_wait_ms: float = 0.0,
+        force_degrade: bool = False,
+        shed: bool = False,
+        A: sp.csr_matrix | None = None,
+        key: str | None = None,
+    ) -> SpMMResponse:
         """Serve one request; every path updates :attr:`metrics`.
 
         With a tracer installed (:func:`repro.obs.get_tracer`), each
@@ -319,47 +456,23 @@ class SpMMServer:
         ) as req_span:
             t0 = time.perf_counter()
             with tracer.span("cache_lookup"):
-                A = self._canonical(request.matrix)
-                key = plan_key(fingerprint_csr(A), request.J)
-                entry = self.cache.get(key)
+                if A is None:
+                    A = self._canonical(request.matrix)
+                if key is None:
+                    key = plan_key(fingerprint_csr(A), request.J)
 
-            degraded = False
-            if entry is not None:
-                m.cache_hits += 1
-                m.compose_saved_s += entry.compose_overhead_s
-                plan = entry.plan
-                overhead_s = time.perf_counter() - t0
-            else:
-                m.cache_misses += 1
-                with tracer.span("admission") as adm_span:
-                    estimate = self.estimate_compose_s(A.nnz)
-                    deadline = request.deadline_ms
-                    degraded = (
-                        deadline is not None
-                        and estimate is not None
-                        and estimate * 1e3 > deadline
-                    )
-                    adm_span.set(
-                        admitted=not degraded,
-                        estimate_ms=None if estimate is None else estimate * 1e3,
-                    )
-                if degraded:
-                    with tracer.span("degraded_build"):
-                        plan = self._fallback_plan(A)
-                    m.degraded += 1
-                    overhead_s = time.perf_counter() - t0
-                    # degraded plans are intentionally NOT cached: a later
-                    # best-effort request for the same matrix should get the
-                    # full pipeline, not a pinned fallback.
-                else:
-                    with tracer.span("compose", nnz=A.nnz):
-                        plan = self.liteform.compose_csr(A, request.J)
-                    self._observe_compose(A.nnz, plan.overhead.total_s)
-                    overhead_s = time.perf_counter() - t0
-                    m.compose_spent_s += plan.overhead.total_s
-                    self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
+            effective_deadline = (
+                None
+                if request.deadline_ms is None
+                else request.deadline_ms - queue_wait_ms
+            )
+            plan, cache_hit, degraded, overhead_s = self._prepare_plan(
+                A, key, t0, effective_deadline, force_degrade
+            )
+            if degraded:
+                m.degraded += 1
 
-            outcome = self._execute(A, plan, request)
+            outcome = self._execute(A, plan, request.B, request.J)
             plan = outcome["plan"]
             measurement = outcome["measurement"]
             failed = outcome["failed"]
@@ -372,11 +485,12 @@ class SpMMServer:
 
             overhead_ms = overhead_s * 1e3
             deadline_missed = (
-                request.deadline_ms is not None and overhead_ms > request.deadline_ms
+                request.deadline_ms is not None
+                and overhead_ms + queue_wait_ms > request.deadline_ms
             )
             if deadline_missed:
                 m.deadline_misses += 1
-            latency_ms = overhead_ms + outcome["backoff_ms"] + exec_ms
+            latency_ms = queue_wait_ms + overhead_ms + outcome["backoff_ms"] + exec_ms
             if failed:
                 # Failed requests never enter the success latency series —
                 # a 0 ms "latency" would drag p50/p95 down (they are tracked
@@ -387,11 +501,16 @@ class SpMMServer:
                 if outcome["recovered"]:
                     m.recovered += 1
                 m.observe_latency(exec_ms, latency_ms)
+            if failed:
+                status = ResponseStatus.FAILED
+            elif degraded or outcome["degraded_oom"]:
+                status = ResponseStatus.DEGRADED
+            else:
+                status = ResponseStatus.OK
             req_span.set(
-                cache_hit=entry is not None,
-                degraded=degraded,
+                cache_hit=cache_hit,
+                status=status.value,
                 deadline_missed=deadline_missed,
-                failed=failed,
                 sim_exec_ms=exec_ms,
             )
         return SpMMResponse(
@@ -399,10 +518,10 @@ class SpMMServer:
             measurement=measurement,
             plan=plan,
             key=key,
-            cache_hit=entry is not None,
-            degraded=degraded,
+            cache_hit=cache_hit,
+            status=status,
+            admission_degraded=degraded,
             deadline_missed=deadline_missed,
-            failed=failed,
             device_index=outcome["slot_index"],
             compose_overhead_s=overhead_s,
             latency_ms=latency_ms,
@@ -410,7 +529,189 @@ class SpMMServer:
             recovered=outcome["recovered"],
             backoff_ms=outcome["backoff_ms"],
             degraded_oom=outcome["degraded_oom"],
+            queue_wait_ms=queue_wait_ms,
+            shed=shed,
         )
+
+    # -- async-style surface -------------------------------------------
+    def submit(self, request: SpMMRequest) -> int:
+        """Enqueue a request; returns a ticket for :meth:`poll`.
+
+        The in-process server is lazy-synchronous: the work happens at
+        the next :meth:`poll` / :meth:`drain` call.
+        """
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._pending.append((ticket, request))
+        return ticket
+
+    def _process_pending(self) -> None:
+        while self._pending:
+            ticket, request = self._pending.popleft()
+            self._completed[ticket] = self._serve_one(request)
+
+    def poll(self, ticket: int) -> SpMMResponse | None:
+        """Claim one completed response (processing anything pending
+        first); None if the ticket is unknown or already claimed."""
+        self._process_pending()
+        return self._completed.pop(ticket, None)
+
+    def drain(self) -> list[SpMMResponse]:
+        """Serve everything pending; returns all unclaimed responses in
+        submission order (each response is delivered exactly once)."""
+        self._process_pending()
+        out = [self._completed.pop(t) for t in sorted(self._completed)]
+        return out
+
+    def serve(self, request: SpMMRequest) -> SpMMResponse:
+        """Serve one request now — thin wrapper over submit/poll."""
+        ticket = self.submit(request)
+        response = self.poll(ticket)
+        assert response is not None  # in-process poll always completes
+        return response
+
+    # -- coalesced micro-batches ---------------------------------------
+    def serve_batch(
+        self,
+        requests: list[SpMMRequest],
+        *,
+        queue_waits_ms: list[float] | None = None,
+        prepared: list[tuple[sp.csr_matrix, str]] | None = None,
+    ) -> list[SpMMResponse]:
+        """Serve requests sharing one ``(fingerprint, J)`` key as a single
+        fused launch.
+
+        One plan lookup (or compose) covers the whole group; the dense
+        operands are stacked column-wise into a ``(K, n*J)`` operand and
+        executed once, then the result is split back per request — each
+        slice bit-identical to an individually served response, because
+        output column ``j`` depends only on operand column ``j``.  All
+        requests must agree on the plan key and on operand kind (all
+        numeric or all measure-only); a mixed group raises
+        :exc:`ValueError` — the :class:`~repro.serve.scheduler.Batcher`
+        never forms one.
+
+        ``queue_waits_ms`` (scheduler-provided) is the per-request
+        virtual queueing delay; the group's admission decision uses the
+        *tightest* effective deadline (deadline minus wait) among its
+        members.  ``prepared`` lets the scheduler pass pre-canonicalized
+        ``(A, key)`` pairs so fingerprints are not recomputed at dispatch.
+        """
+        n = len(requests)
+        if n == 0:
+            return []
+        waits = list(queue_waits_ms) if queue_waits_ms is not None else [0.0] * n
+        if len(waits) != n:
+            raise ValueError(f"queue_waits_ms has {len(waits)} entries for {n} requests")
+        if prepared is None:
+            prepared = []
+            for r in requests:
+                A = self._canonical(r.matrix)
+                prepared.append((A, plan_key(fingerprint_csr(A), r.J)))
+        keys = {key for _, key in prepared}
+        if len(keys) != 1:
+            raise ValueError(
+                f"serve_batch requires one (fingerprint, J) group, got {len(keys)} "
+                f"distinct keys: {sorted(keys)}"
+            )
+        numeric = [r.B is not None for r in requests]
+        if any(numeric) and not all(numeric):
+            raise ValueError(
+                "serve_batch cannot mix numeric and measure-only requests"
+            )
+        A, key = prepared[0]
+        if n == 1:
+            return [
+                self._serve_one(
+                    requests[0], queue_wait_ms=waits[0], A=A, key=key
+                )
+            ]
+
+        m = self.metrics
+        J = requests[0].J
+        m.requests += n
+        tracer = get_tracer()
+        with tracer.span("batch", size=n, J=J, key=key) as batch_span:
+            t0 = time.perf_counter()
+            deadlines = [
+                r.deadline_ms - w
+                for r, w in zip(requests, waits)
+                if r.deadline_ms is not None
+            ]
+            effective_deadline = min(deadlines) if deadlines else None
+            plan, cache_hit, degraded, overhead_s = self._prepare_plan(
+                A, key, t0, effective_deadline, False
+            )
+            if degraded:
+                m.degraded += n
+
+            if all(numeric):
+                B = np.hstack([r.B for r in requests])
+            else:
+                B = None
+            outcome = self._execute(A, plan, B, n * J)
+            plan = outcome["plan"]
+            measurement = outcome["measurement"]
+            failed = outcome["failed"]
+            if outcome["degraded_oom"] and not failed:
+                self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
+            exec_ms = measurement.time_ms if measurement is not None else 0.0
+            overhead_ms = overhead_s * 1e3
+            batch_span.set(
+                cache_hit=cache_hit,
+                degraded=degraded,
+                failed=failed,
+                sim_exec_ms=exec_ms,
+            )
+
+        C_all = outcome["C"]
+        responses = []
+        for i, (request, wait) in enumerate(zip(requests, waits)):
+            C_i = None
+            if C_all is not None:
+                C_i = np.ascontiguousarray(C_all[:, i * J : (i + 1) * J])
+            deadline_missed = (
+                request.deadline_ms is not None
+                and overhead_ms + wait > request.deadline_ms
+            )
+            if deadline_missed:
+                m.deadline_misses += 1
+            latency_ms = wait + overhead_ms + outcome["backoff_ms"] + exec_ms
+            if failed:
+                m.failed += 1
+                m.observe_failed_latency(latency_ms)
+                status = ResponseStatus.FAILED
+            else:
+                if outcome["recovered"]:
+                    m.recovered += 1
+                m.observe_latency(exec_ms, latency_ms)
+                status = (
+                    ResponseStatus.DEGRADED
+                    if degraded or outcome["degraded_oom"]
+                    else ResponseStatus.OK
+                )
+            responses.append(
+                SpMMResponse(
+                    C=C_i,
+                    measurement=measurement,
+                    plan=plan,
+                    key=key,
+                    cache_hit=cache_hit,
+                    status=status,
+                    admission_degraded=degraded,
+                    deadline_missed=deadline_missed,
+                    device_index=outcome["slot_index"],
+                    compose_overhead_s=overhead_s,
+                    latency_ms=latency_ms,
+                    attempts=outcome["attempts"],
+                    recovered=outcome["recovered"],
+                    backoff_ms=outcome["backoff_ms"],
+                    degraded_oom=outcome["degraded_oom"],
+                    batch_size=n,
+                    queue_wait_ms=wait,
+                )
+            )
+        return responses
 
     def replay(self, requests: list[SpMMRequest]) -> ServerMetrics:
         """Serve a whole workload in order and return the scoreboard.

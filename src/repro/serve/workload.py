@@ -9,6 +9,13 @@ with GNN stand-ins, mixed ``J`` widths, and an optional deadline on a
 fraction of the requests (the latency-sensitive tier that exercises the
 server's admission control).
 
+Traffic can also be *timed*: with ``arrival_rate_rps`` set, each request
+gets a seeded ``arrival_ms`` timestamp (Poisson or bursty process) so the
+open-loop :class:`~repro.serve.scheduler.Scheduler` can replay it as a
+stream instead of a closed-loop list.  Arrival draws use a dedicated RNG
+stream, so turning arrivals on (or changing the process) never perturbs
+the matrices, picks, operands, or deadlines of an existing trace.
+
 Everything is seeded: the same :class:`WorkloadSpec` always yields the
 same request sequence, so replay benchmarks are reproducible.
 """
@@ -59,6 +66,17 @@ class WorkloadSpec:
     #: If True each request carries a dense B (full numeric execution);
     #: if False requests are measure-only (timing replay, much cheaper).
     with_operands: bool = True
+    #: Mean arrival rate in requests per *simulated* second.  None (the
+    #: default) keeps the legacy closed-loop trace: every ``arrival_ms``
+    #: stays 0.0 and replay order is the only timing.
+    arrival_rate_rps: float | None = None
+    #: ``"poisson"`` — independent exponential inter-arrival gaps;
+    #: ``"burst"`` — requests arrive in simultaneous groups of
+    #: :attr:`burst_size` (bursts themselves Poisson at a rate keeping the
+    #: overall mean at :attr:`arrival_rate_rps`).
+    arrival_process: str = "poisson"
+    #: Requests per burst when :attr:`arrival_process` is ``"burst"``.
+    burst_size: int = 8
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -73,6 +91,17 @@ class WorkloadSpec:
         for name in self.gnn_names:
             if name not in GNN_DATASETS:
                 raise ValueError(f"unknown GNN stand-in {name!r}")
+        if self.arrival_rate_rps is not None and self.arrival_rate_rps <= 0:
+            raise ValueError(
+                f"arrival_rate_rps must be > 0, got {self.arrival_rate_rps}"
+            )
+        if self.arrival_process not in ("poisson", "burst"):
+            raise ValueError(
+                f"arrival_process must be 'poisson' or 'burst', "
+                f"got {self.arrival_process!r}"
+            )
+        if self.burst_size < 1:
+            raise ValueError(f"burst_size must be >= 1, got {self.burst_size}")
 
 
 def _build_pool(spec: WorkloadSpec) -> list[tuple[str, sp.csr_matrix]]:
@@ -138,4 +167,31 @@ def generate_workload(spec: WorkloadSpec) -> list[SpMMRequest]:
                 name=f"req{i:05d}:{name}",
             )
         )
+    for request, arrival_ms in zip(requests, _arrival_times(spec)):
+        request.arrival_ms = arrival_ms
     return requests
+
+
+#: Stream tag mixed into the arrival RNG seed.  Arrival timestamps must
+#: come from their own generator: drawing them from the trace RNG would
+#: shift every downstream pick/operand/deadline draw, silently changing
+#: all existing seeded workloads the moment arrivals are enabled.
+_ARRIVAL_STREAM = 0xA221
+
+
+def _arrival_times(spec: WorkloadSpec) -> np.ndarray:
+    """Virtual-ms arrival timestamps for ``spec`` (zeros when untimed)."""
+    n = spec.num_requests
+    if spec.arrival_rate_rps is None:
+        return np.zeros(n)
+    rng = np.random.default_rng((spec.seed, _ARRIVAL_STREAM))
+    mean_gap_ms = 1e3 / spec.arrival_rate_rps
+    if spec.arrival_process == "poisson":
+        return np.cumsum(rng.exponential(mean_gap_ms, size=n))
+    # Bursty: groups of burst_size share one timestamp; burst gaps are
+    # scaled up by burst_size so the overall mean rate is unchanged.
+    num_bursts = -(-n // spec.burst_size)
+    burst_times = np.cumsum(
+        rng.exponential(mean_gap_ms * spec.burst_size, size=num_bursts)
+    )
+    return np.repeat(burst_times, spec.burst_size)[:n]

@@ -104,7 +104,9 @@ class TestModuleInventory:
         "repro.serve.plan_cache",
         "repro.serve.metrics",
         "repro.serve.server",
+        "repro.serve.scheduler",
         "repro.serve.workload",
+        "repro.kernels.registry",
         "repro.bench.harness",
         "repro.bench.reporting",
         "repro.bench.ascii_plot",

@@ -1,0 +1,56 @@
+"""Kernel registry: the one method → (Format, Kernel) table."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.formats.base import SparseFormat, as_csr
+from repro.gpu import SimulatedDevice
+from repro.kernels.base import SpMMKernel
+from repro.kernels.registry import KERNEL_REGISTRY, available_methods, resolve
+from repro.matrices import power_law_graph
+
+
+class TestRegistry:
+    def test_available_methods_sorted_and_complete(self):
+        methods = available_methods()
+        assert list(methods) == sorted(KERNEL_REGISTRY)
+        assert {"cell", "csr", "sputnik", "dgsparse", "taco", "bcsr",
+                "ell", "sliced-ell"} == set(methods)
+
+    def test_resolve_returns_classes(self):
+        for method in available_methods():
+            fmt_cls, kernel_cls = resolve(method)
+            assert issubclass(fmt_cls, SparseFormat)
+            assert issubclass(kernel_cls, SpMMKernel)
+
+    def test_unknown_method_error_lists_choices(self):
+        with pytest.raises(ValueError, match="unknown method 'ellpack'"):
+            resolve("ellpack")
+        with pytest.raises(ValueError, match="cell"):
+            resolve("nope")
+
+    def test_every_entry_runs(self):
+        A = power_law_graph(300, 5, seed=2)
+        B = np.random.default_rng(0).standard_normal(
+            (A.shape[1], 16)
+        ).astype(np.float32)
+        dense = as_csr(A).toarray() @ B
+        for method in available_methods():
+            fmt_cls, kernel_cls = resolve(method)
+            C, m = kernel_cls().run(
+                fmt_cls.from_csr(as_csr(A)), B, SimulatedDevice()
+            )
+            np.testing.assert_allclose(C, dense, rtol=2e-4, atol=2e-4)
+            assert m.time_s > 0
+
+    def test_spmm_consumes_registry(self):
+        A = power_law_graph(300, 5, seed=2)
+        B = np.random.default_rng(0).standard_normal(
+            (A.shape[1], 16)
+        ).astype(np.float32)
+        C, _ = repro.spmm(A, B, method="sliced-ell")
+        np.testing.assert_allclose(C, as_csr(A).toarray() @ B,
+                                   rtol=2e-4, atol=2e-4)
+        with pytest.raises(ValueError, match="unknown method"):
+            repro.spmm(A, B, method="bogus")

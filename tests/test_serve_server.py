@@ -178,3 +178,48 @@ class TestMetricsSnapshot:
         assert resp.latency_ms == pytest.approx(
             resp.compose_overhead_s * 1e3 + resp.measurement.time_ms
         )
+
+
+class TestResponseStatus:
+    def test_ok_status_and_backcompat_views(self, server):
+        from repro.serve import ResponseStatus
+
+        resp = server.serve(_request(seed=21))
+        assert resp.status is ResponseStatus.OK
+        assert resp.ok and not resp.failed and not resp.degraded
+
+    def test_degraded_status_mirrors_property(self, server):
+        from repro.serve import ResponseStatus
+
+        server.serve(_request(seed=22, n=300))  # warm the estimator
+        resp = server.serve(_request(seed=23, n=2000, deadline_ms=1e-4))
+        assert resp.status is ResponseStatus.DEGRADED
+        assert resp.degraded and not resp.failed and not resp.ok
+
+    def test_status_serializes_as_string(self, server):
+        import json
+
+        resp = server.serve(_request(seed=24))
+        assert json.dumps(resp.status) == '"ok"'
+
+
+class TestAsyncSurface:
+    def test_submit_poll_roundtrip(self, server):
+        ticket = server.submit(_request(seed=25))
+        resp = server.poll(ticket)
+        assert resp is not None and resp.C is not None
+        assert server.poll(ticket) is None  # claimed exactly once
+
+    def test_drain_preserves_submission_order(self, server):
+        r1, r2 = _request(seed=26), _request(seed=27)
+        server.submit(r1)
+        server.submit(r2)
+        out = server.drain()
+        assert len(out) == 2
+        assert out[0].key != out[1].key
+        assert server.drain() == []
+
+    def test_serve_is_submit_poll_wrapper(self, server):
+        resp = server.serve(_request(seed=28))
+        assert resp.C is not None
+        assert server.metrics.requests == 1
