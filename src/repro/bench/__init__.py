@@ -7,6 +7,18 @@ from repro.bench.harness import (
     phase,
     scaled_device,
 )
+from repro.bench.regress import (
+    SCHEMA_VERSION,
+    ComparisonReport,
+    Metric,
+    MetricComparison,
+    compare_snapshots,
+    default_baseline_path,
+    load_snapshot,
+    run_suite,
+    snapshot_filename,
+    write_snapshot,
+)
 from repro.bench.reporting import (
     BenchTable,
     geomean,
@@ -22,4 +34,14 @@ __all__ = [
     "TRAIN_SIZE",
     "phase",
     "scaled_device",
+    "SCHEMA_VERSION",
+    "ComparisonReport",
+    "Metric",
+    "MetricComparison",
+    "compare_snapshots",
+    "default_baseline_path",
+    "load_snapshot",
+    "run_suite",
+    "snapshot_filename",
+    "write_snapshot",
 ]

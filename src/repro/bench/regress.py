@@ -1,0 +1,433 @@
+"""Benchmark-regression harness: pinned micro-suite + snapshot comparison.
+
+The suite re-measures the hot paths this repo cares about — CELL
+composition (tune + build), the CELL SpMM kernel, the simulator's modeled
+kernel time, and a small serving replay — on seeded inputs, and writes a
+schema-versioned snapshot (``BENCH_<rev>.json``).  A committed baseline
+snapshot lives under ``benchmarks/``; ``cli bench --check`` compares the
+fresh run against it with per-metric tolerance bands and fails on
+regression, which is what the CI ``bench-gate`` job runs.
+
+Metric kinds and their comparison semantics (see docs/BENCHMARKS.md):
+
+``wall``
+    Wall-clock milliseconds, median of ``repeats`` runs.  Lower is
+    better; noisy on shared CI runners, so the default band is wide.
+``virtual``
+    Deterministic modeled quantities (simulator time).  Any drift beyond
+    float noise means the cost/timing model changed — tight band, both
+    directions.
+``ratio``
+    Machine-relative speedups (vectorized vs. in-process reference).
+    Higher is better; only a drop below the band fails.  Robust to CI
+    runner speed because both sides run on the same machine.
+``exact``
+    Checksums and counters that must not move at all (bit-identity
+    guards, deterministic telemetry).  Optional per-metric ``tol``
+    relaxes this to a relative band for float checksums.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator
+
+import numpy as np
+import scipy
+
+from repro.bench.reference import reference_compose_cell
+from repro.bench.reporting import geomean
+from repro.core.bucket_search import build_buckets
+from repro.core.cost_model import matrix_cost_profiles
+from repro.core.pipeline import LiteForm
+from repro.core.training import generate_training_data
+from repro.formats.cell import CELLFormat, split_csr
+from repro.gpu.device import SimulatedDevice
+from repro.kernels.cell_spmm import CELLSpMM
+from repro.matrices.collection import SuiteSparseLikeCollection
+from repro.serve import PlanCache, SpMMServer
+from repro.serve.workload import WorkloadSpec, generate_workload
+
+SCHEMA_VERSION = 1
+
+#: Default relative tolerance band per metric kind.
+DEFAULT_TOLERANCES: dict[str, float] = {
+    "wall": 0.60,  # generous: shared CI runners jitter a lot
+    "virtual": 1e-6,
+    "ratio": 0.35,
+    "exact": 0.0,
+}
+
+#: Column-partition counts exercised by the compose benchmarks.
+COMPOSE_PARTITIONS = (1, 2, 4)
+
+#: Seeded collection the compose/kernel benchmarks run over.
+SUITE_SIZE = 10
+SUITE_MAX_ROWS = 8000
+SUITE_SEED = 7
+SUITE_J = 128
+KERNEL_J = 32
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One benchmarked quantity inside a snapshot."""
+
+    name: str
+    value: float
+    kind: str  # "wall" | "virtual" | "ratio" | "exact"
+    unit: str = ""
+    #: Optional per-metric override of the kind's default tolerance.
+    tol: float | None = None
+
+    def to_json(self) -> dict:
+        out: dict = {"value": self.value, "kind": self.kind, "unit": self.unit}
+        if self.tol is not None:
+            out["tol"] = self.tol
+        return out
+
+    @classmethod
+    def from_json(cls, name: str, payload: dict) -> "Metric":
+        return cls(
+            name=name,
+            value=float(payload["value"]),
+            kind=str(payload["kind"]),
+            unit=str(payload.get("unit", "")),
+            tol=payload.get("tol"),
+        )
+
+
+def git_rev() -> str:
+    """Short revision of the working tree, or ``local`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "local"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "local"
+
+
+def default_baseline_path() -> Path:
+    return Path("benchmarks") / "baseline.json"
+
+
+def snapshot_filename(rev: str) -> str:
+    return f"BENCH_{rev}.json"
+
+
+# ---------------------------------------------------------------------------
+# The pinned suite
+# ---------------------------------------------------------------------------
+
+
+def _median_wall_ms(fn: Callable[[], object], repeats: int) -> float:
+    times = []
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        times.append((time.perf_counter() - t0) * 1e3)
+    return float(np.median(times))
+
+
+def _tuned_compose(A, num_partitions: int, J: int = SUITE_J) -> CELLFormat:
+    """Tune the per-partition width caps (Algorithm 3) and build CELL."""
+    cells = split_csr(A, num_partitions)
+    profiles = matrix_cost_profiles(A, num_partitions, cells=cells)
+    widths = [
+        1 << build_buckets(p, J, num_partitions=num_partitions).max_exp
+        if p.num_nonempty_rows
+        else 1
+        for p in profiles
+    ]
+    return CELLFormat.from_csr(
+        A, num_partitions=num_partitions, max_widths=widths, cells=cells
+    )
+
+
+def _suite_entries():
+    return list(
+        SuiteSparseLikeCollection(
+            size=SUITE_SIZE, max_rows=SUITE_MAX_ROWS, seed=SUITE_SEED
+        )
+    )
+
+
+def _format_checksum(formats: list[CELLFormat]) -> float:
+    """Deterministic reduction over composed structures (bit-drift guard)."""
+    col_sum = 0
+    row_sum = 0
+    val_sum = 0.0
+    buckets = 0
+    for fmt in formats:
+        for _, b in fmt.iter_buckets():
+            buckets += 1
+            col_sum += int(b.col.astype(np.int64).sum())
+            row_sum += int(b.row_ind.astype(np.int64).sum()) + b.block_rows
+            val_sum += float(b.val.astype(np.float64).sum())
+    return float(col_sum % (1 << 31)) + float(row_sum % (1 << 20)) + val_sum + buckets
+
+
+def _bench_compose(entries, repeats: int) -> Iterator[Metric]:
+    speedups = []
+    for P in COMPOSE_PARTITIONS:
+        wall_vec = _median_wall_ms(
+            lambda: [_tuned_compose(e.matrix, P) for e in entries], repeats
+        )
+        wall_ref = _median_wall_ms(
+            lambda: [reference_compose_cell(e.matrix, P, SUITE_J) for e in entries],
+            repeats,
+        )
+        speedup = wall_ref / max(wall_vec, 1e-9)
+        speedups.append(speedup)
+        yield Metric(f"compose.P{P}.wall_ms", wall_vec, "wall", "ms")
+        yield Metric(f"compose.P{P}.speedup_vs_reference", speedup, "ratio", "x")
+    yield Metric("compose.speedup_geomean", float(geomean(speedups)), "ratio", "x")
+
+    formats = [
+        _tuned_compose(e.matrix, P) for e in entries for P in COMPOSE_PARTITIONS
+    ]
+    yield Metric(
+        "compose.structure_checksum",
+        _format_checksum(formats),
+        "exact",
+        tol=1e-9,
+    )
+
+
+def _bench_tune(entries, repeats: int) -> Iterator[Metric]:
+    def tune_all():
+        evals = 0
+        for e in entries:
+            for P in (1, 4):
+                for prof in matrix_cost_profiles(e.matrix, P):
+                    if prof.num_nonempty_rows:
+                        r = build_buckets(prof, SUITE_J, num_partitions=P)
+                        evals += r.evaluations
+        return evals
+
+    yield Metric("tune.wall_ms", _median_wall_ms(tune_all, repeats), "wall", "ms")
+    yield Metric("tune.evaluations", float(tune_all()), "exact")
+
+
+def _bench_kernel(entries, repeats: int) -> Iterator[Metric]:
+    kernel = CELLSpMM()
+    rng = np.random.default_rng(3)
+    pairs = []
+    for e in entries:
+        fmt = _tuned_compose(e.matrix, 1)
+        B = rng.standard_normal((e.matrix.shape[1], KERNEL_J)).astype(np.float32)
+        pairs.append((fmt, B))
+
+    def run_all():
+        return [kernel.execute(fmt, B) for fmt, B in pairs]
+
+    run_all()  # warm the cached per-bucket slabs before timing
+    yield Metric("kernel.execute.wall_ms", _median_wall_ms(run_all, repeats), "wall", "ms")
+    checksum = float(sum(float(C.astype(np.float64).sum()) for C in run_all()))
+    yield Metric("kernel.execute.checksum", checksum, "exact", tol=1e-9)
+
+    device = SimulatedDevice()
+    virtual_ms = sum(
+        device.measure(kernel.plan(fmt, KERNEL_J)).time_ms for fmt, _ in pairs
+    )
+    yield Metric("plan.virtual_ms", float(virtual_ms), "virtual", "ms")
+
+
+def _bench_serve(repeats: int) -> Iterator[Metric]:
+    coll = SuiteSparseLikeCollection(size=6, max_rows=2000, seed=11)
+    liteform = LiteForm().fit(generate_training_data(coll, J_values=(32,)))
+    spec = WorkloadSpec(
+        num_requests=40,
+        num_matrices=6,
+        J_choices=(32,),
+        max_rows=2000,
+        seed=5,
+    )
+    requests = generate_workload(spec)
+
+    last_metrics = None
+
+    def replay():
+        nonlocal last_metrics
+        server = SpMMServer(liteform=liteform, cache=PlanCache())
+        server.replay(requests)
+        last_metrics = server.metrics
+        return server
+
+    yield Metric("serve.replay.wall_ms", _median_wall_ms(replay, repeats), "wall", "ms")
+    assert last_metrics is not None
+    yield Metric("serve.requests", float(last_metrics.requests), "exact")
+    yield Metric("serve.cache_hits", float(last_metrics.cache_hits), "exact")
+
+
+def run_suite(repeats: int = 3, include_serve: bool = True) -> dict:
+    """Run the pinned benchmark suite and return a snapshot dict."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    entries = _suite_entries()
+    metrics: list[Metric] = []
+    metrics.extend(_bench_compose(entries, repeats))
+    metrics.extend(_bench_tune(entries, repeats))
+    metrics.extend(_bench_kernel(entries, repeats))
+    if include_serve:
+        metrics.extend(_bench_serve(repeats))
+    return {
+        "schema": SCHEMA_VERSION,
+        "rev": git_rev(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "repeats": repeats,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+        },
+        "metrics": {m.name: m.to_json() for m in metrics},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Snapshot I/O and comparison
+# ---------------------------------------------------------------------------
+
+
+def write_snapshot(snapshot: dict, path: Path | str) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_snapshot(path: Path | str) -> dict:
+    path = Path(path)
+    snapshot = json.loads(path.read_text())
+    if not isinstance(snapshot, dict) or "schema" not in snapshot:
+        raise ValueError(f"{path} is not a benchmark snapshot (no 'schema' key)")
+    if snapshot["schema"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: snapshot schema {snapshot['schema']} != supported "
+            f"{SCHEMA_VERSION}; regenerate with 'cli bench --update-baseline'"
+        )
+    return snapshot
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """Verdict for one metric of a baseline/current snapshot pair."""
+
+    name: str
+    status: str  # "ok" | "improved" | "regressed" | "missing" | "new"
+    detail: str
+    baseline: float | None = None
+    current: float | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("regressed", "missing")
+
+
+@dataclass
+class ComparisonReport:
+    rows: list[MetricComparison] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(r.failed for r in self.rows)
+
+    @property
+    def failures(self) -> list[MetricComparison]:
+        return [r for r in self.rows if r.failed]
+
+    def render(self) -> str:
+        lines = []
+        width = max((len(r.name) for r in self.rows), default=4)
+        for r in self.rows:
+            mark = {"ok": " ", "improved": "+", "new": "*"}.get(r.status, "!")
+            lines.append(f"{mark} {r.name:<{width}}  {r.status:<9}  {r.detail}")
+        verdict = "PASS" if self.ok else f"FAIL ({len(self.failures)} regression(s))"
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _tolerance(metric: Metric) -> float:
+    if metric.tol is not None:
+        return float(metric.tol)
+    return DEFAULT_TOLERANCES[metric.kind]
+
+
+def _compare_metric(base: Metric, cur: Metric) -> MetricComparison:
+    tol = _tolerance(base)
+    b, c = base.value, cur.value
+    unit = base.unit or ""
+    pair = f"{b:.6g}{unit} -> {c:.6g}{unit}"
+    if base.kind == "exact" and tol == 0.0:
+        if b == c:
+            return MetricComparison(base.name, "ok", pair, b, c)
+        return MetricComparison(base.name, "regressed", f"{pair} (must match exactly)", b, c)
+    scale = max(abs(b), 1e-12)
+    rel = (c - b) / scale
+    if base.kind == "ratio":
+        # Higher is better; only a drop below the band fails.
+        if rel < -tol:
+            return MetricComparison(
+                base.name, "regressed", f"{pair} ({rel:+.1%} < -{tol:.0%})", b, c
+            )
+        status = "improved" if rel > tol else "ok"
+        return MetricComparison(base.name, status, f"{pair} ({rel:+.1%})", b, c)
+    # wall / virtual / exact-with-tol: lower (or equal) is better.
+    if rel > tol:
+        return MetricComparison(
+            base.name, "regressed", f"{pair} ({rel:+.1%} > +{tol:.0%})", b, c
+        )
+    if base.kind in ("virtual", "exact") and rel < -tol:
+        # Deterministic quantities moving in *either* direction means the
+        # model changed; force an explicit baseline update.
+        return MetricComparison(
+            base.name, "regressed", f"{pair} ({rel:+.1%}, deterministic drift)", b, c
+        )
+    status = "improved" if rel < -tol else "ok"
+    return MetricComparison(base.name, status, f"{pair} ({rel:+.1%})", b, c)
+
+
+def compare_snapshots(baseline: dict, current: dict) -> ComparisonReport:
+    """Compare two snapshots; regressions and vanished metrics fail."""
+    for snap, label in ((baseline, "baseline"), (current, "current")):
+        if snap.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"{label} snapshot schema {snap.get('schema')!r} != {SCHEMA_VERSION}"
+            )
+    base_metrics = {
+        name: Metric.from_json(name, payload)
+        for name, payload in baseline["metrics"].items()
+    }
+    cur_metrics = {
+        name: Metric.from_json(name, payload)
+        for name, payload in current["metrics"].items()
+    }
+    report = ComparisonReport()
+    for name, base in sorted(base_metrics.items()):
+        cur = cur_metrics.get(name)
+        if cur is None:
+            report.rows.append(
+                MetricComparison(name, "missing", "metric vanished from suite", base.value)
+            )
+            continue
+        report.rows.append(_compare_metric(base, cur))
+    for name, cur in sorted(cur_metrics.items()):
+        if name not in base_metrics:
+            report.rows.append(
+                MetricComparison(
+                    name, "new", f"{cur.value:.6g}{cur.unit} (not in baseline)", None, cur.value
+                )
+            )
+    return report

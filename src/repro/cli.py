@@ -21,6 +21,13 @@ Commands
     (batch timeout), ``--arrival-rate`` (Poisson arrivals, requests per
     simulated second), and ``--max-queue`` (backpressure bound; overflow
     is shed to the degraded path).
+``bench``
+    Run the pinned micro-benchmark suite (:mod:`repro.bench.regress`) and
+    write a schema-versioned ``BENCH_<rev>.json`` snapshot.  ``--check``
+    compares against the committed ``benchmarks/baseline.json`` with
+    per-metric tolerance bands and exits non-zero on regression (the CI
+    ``bench-gate``); ``--update-baseline`` refreshes the baseline.  See
+    docs/BENCHMARKS.md.
 ``info``
     Print format statistics (padding, footprint) for every format on the
     input matrix (``--profile`` adds per-kernel roofline profiles).
@@ -337,6 +344,49 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.bench.regress import (
+        compare_snapshots,
+        default_baseline_path,
+        git_rev,
+        load_snapshot,
+        run_suite,
+        snapshot_filename,
+        write_snapshot,
+    )
+
+    snapshot = run_suite(repeats=args.repeats, include_serve=not args.no_serve)
+    out_dir = Path(args.out) if args.out else Path(".")
+    snap_path = write_snapshot(snapshot, out_dir / snapshot_filename(git_rev()))
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        width = max(len(n) for n in snapshot["metrics"])
+        for name, m in sorted(snapshot["metrics"].items()):
+            print(f"{name:<{width}}  {m['value']:12.6g} {m['unit']:<3} [{m['kind']}]")
+        print(f"snapshot: {snap_path}", file=sys.stderr)
+
+    baseline_path = Path(args.baseline) if args.baseline else default_baseline_path()
+    if args.update_baseline:
+        write_snapshot(snapshot, baseline_path)
+        print(f"baseline updated: {baseline_path}", file=sys.stderr)
+        return 0
+    if args.check:
+        if not baseline_path.exists():
+            print(f"error: baseline {baseline_path} not found "
+                  f"(run with --update-baseline first)", file=sys.stderr)
+            return 2
+        try:
+            baseline = load_snapshot(baseline_path)
+            report = compare_snapshots(baseline, snapshot)
+        except ValueError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        print(report.render())
+        return 0 if report.ok else 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
@@ -434,6 +484,25 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--max-rows", type=int, default=20_000)
     sp.add_argument("--seed", type=int, default=1)
     sp.set_defaults(func=cmd_train)
+
+    sp = sub.add_parser(
+        "bench", help="run the pinned micro-benchmark suite (regression gate)"
+    )
+    sp.add_argument("--check", action="store_true",
+                    help="compare against the committed baseline; exit 1 on "
+                         "regression (the CI bench-gate mode)")
+    sp.add_argument("--update-baseline", action="store_true",
+                    help="overwrite the baseline snapshot with this run")
+    sp.add_argument("--baseline", metavar="PATH",
+                    help="baseline snapshot path (default benchmarks/baseline.json)")
+    sp.add_argument("--out", metavar="DIR",
+                    help="directory for the fresh BENCH_<rev>.json (default .)")
+    sp.add_argument("--repeats", type=int, default=3,
+                    help="wall-time repetitions per benchmark; median wins")
+    sp.add_argument("--no-serve", action="store_true",
+                    help="skip the serving-replay benchmarks (fastest mode)")
+    sp.add_argument("--json", action="store_true", help="print the snapshot as JSON")
+    sp.set_defaults(func=cmd_bench)
 
     sp = sub.add_parser("info", help="format statistics for a matrix")
     sp.add_argument("matrix", help=".mtx path or gnn:<name> stand-in")

@@ -9,13 +9,17 @@ that compares ``cost(mid)`` against ``cost(2 * mid)`` to decide which half
 contains the optimum.
 
 Widths are powers of two, so the search runs over exponents; the paper's
-``TuneWidth(buckets, w)`` and ``GetAllCost(buckets)`` correspond to
-:meth:`PartitionCostProfile.cost`, which re-buckets implicitly.
+``GetAllCost(buckets)`` corresponds to :meth:`PartitionCostProfile.all_costs`,
+which evaluates every candidate cap from one precomputed histogram, and
+``TuneWidth(buckets, w)`` to the probes over that array (the scalar
+:meth:`PartitionCostProfile.cost` remains as the per-candidate reference).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.cost_model import PartitionCostProfile
 
@@ -48,22 +52,19 @@ def build_buckets(
     """
     if J < 1:
         raise ValueError(f"J must be >= 1, got {J}")
-
-    def cost(e: int) -> float:
-        return profile.cost(e, J, num_partitions=num_partitions, legacy_eq7=legacy_eq7)
-
+    # GetAllCost: every candidate cost from the profile's precomputed
+    # histograms in one vectorized pass; the probes below are O(1) reads.
+    costs = profile.all_costs(J, num_partitions=num_partitions, legacy_eq7=legacy_eq7)
     lo, hi = 0, profile.natural_max_exp
     evals = 0
     while lo < hi:
         mid = (lo + hi) // 2
-        cost_mid = cost(mid)
-        cost_next = cost(min(mid + 1, hi))
         evals += 2
-        if cost_mid > cost_next:
+        if costs[mid] > costs[min(mid + 1, hi)]:
             lo = mid + 1
         else:
             hi = mid
-    return BucketSearchResult(max_exp=lo, cost=cost(lo), evaluations=evals + 1)
+    return BucketSearchResult(max_exp=lo, cost=float(costs[lo]), evaluations=evals + 1)
 
 
 def exhaustive_width_search(
@@ -76,11 +77,8 @@ def exhaustive_width_search(
     is compared against (and the oracle it should match on unimodal costs)."""
     if J < 1:
         raise ValueError(f"J must be >= 1, got {J}")
-    best_exp, best_cost = 0, float("inf")
-    evals = 0
-    for e in range(profile.natural_max_exp + 1):
-        c = profile.cost(e, J, num_partitions=num_partitions, legacy_eq7=legacy_eq7)
-        evals += 1
-        if c < best_cost:
-            best_exp, best_cost = e, c
-    return BucketSearchResult(max_exp=best_exp, cost=best_cost, evaluations=evals)
+    costs = profile.all_costs(J, num_partitions=num_partitions, legacy_eq7=legacy_eq7)
+    best_exp = int(np.argmin(costs))  # first minimum: lowest cap wins ties
+    return BucketSearchResult(
+        max_exp=best_exp, cost=float(costs[best_exp]), evaluations=int(costs.size)
+    )

@@ -31,7 +31,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.formats.base import ceil_pow2_exponent
-from repro.formats.cell import partition_bounds
+from repro.formats.cell import split_csr
 
 
 #: Calibrated atomic weight: the device's read-modify-write amplification
@@ -75,68 +75,99 @@ class _NaturalBucket:
 
 
 class PartitionCostProfile:
-    """Per-partition precomputation for O(1)-ish candidate-cost queries."""
+    """Per-partition precomputation for O(1)-ish candidate-cost queries.
+
+    The constructor runs in O(nnz + E·K) with **no** nnz-sized sorts: the
+    per-exponent and suffix unique-column counts that previously went
+    through ``np.unique`` (an O(nnz log nnz) sort each) are now computed
+    with stamp arrays — one pass marks each column with the exponent group
+    that touched it, a second records each column's maximum exponent, and
+    the suffix counts fall out of a reversed cumulative histogram.
+    """
 
     def __init__(self, lengths: np.ndarray, indptr: np.ndarray, indices: np.ndarray):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        self._init_from_cells(lengths, indptr[:-1], indices)
+
+    @classmethod
+    def from_cells(
+        cls, lengths: np.ndarray, starts: np.ndarray, indices: np.ndarray
+    ) -> "PartitionCostProfile":
+        """Build from per-row ``(length, start)`` cells into a shared
+        ``indices`` array — the zero-copy layout of
+        :func:`repro.formats.cell.partition_cells`."""
+        self = cls.__new__(cls)
+        self._init_from_cells(lengths, np.asarray(starts, dtype=np.int64), indices)
+        return self
+
+    def _init_from_cells(
+        self, lengths: np.ndarray, starts: np.ndarray, indices: np.ndarray
+    ) -> None:
         lengths = np.asarray(lengths, dtype=np.int64)
         rows = np.nonzero(lengths > 0)[0]
         self.num_nonempty_rows = int(rows.size)
+        self._all_costs_cache: dict[tuple, np.ndarray] = {}
         if rows.size == 0:
             self.natural_max_exp = 0
             self._naturals: dict[int, _NaturalBucket] = {}
+            self._nat_rows = np.zeros(1, dtype=np.int64)
+            self._nat_unique = np.zeros(1, dtype=np.int64)
             self._suffix_unique = np.zeros(1, dtype=np.int64)
             self._suffix_rows = np.zeros(1, dtype=np.int64)
             self._lengths_desc = np.zeros(0, dtype=np.int64)
-            self._exp_boundaries = np.zeros(2, dtype=np.int64)
             return
         l = lengths[rows]
         exps = ceil_pow2_exponent(l)
         self.natural_max_exp = int(exps.max())
         E = self.natural_max_exp
 
-        # --- natural buckets (exact per-exponent unique column counts) ---
+        # --- group stored elements by their row's exponent --------------
         order = np.argsort(exps, kind="stable")
-        rows_s, exps_s, l_s = rows[order], exps[order], l[order]
-        bounds = np.searchsorted(exps_s, np.arange(E + 2))
-        span = np.int64(indices.max()) + 1 if indices.size else np.int64(1)
-        # Gather each row's column indices tagged with its exponent group.
-        starts = indptr[rows_s].astype(np.int64)
+        rows_s, l_s = rows[order], l[order]
+        bounds = np.searchsorted(exps[order], np.arange(E + 2))
+        row_starts = starts[rows_s]
         within = np.arange(int(l_s.sum())) - np.repeat(np.cumsum(l_s) - l_s, l_s)
-        flat_cols = indices[np.repeat(starts, l_s) + within].astype(np.int64)
-        flat_exp = np.repeat(exps_s, l_s)
-        uniq_keys = np.unique(flat_exp * span + flat_cols)
-        per_exp_unique = np.bincount(
-            (uniq_keys // span).astype(np.int64), minlength=E + 1
-        )
+        flat_cols = indices[np.repeat(row_starts, l_s) + within].astype(np.int64)
+        elem_bounds = np.concatenate([[0], np.cumsum(l_s)])[bounds]
+
+        # --- natural buckets + per-column max exponent via stamping -----
+        span = int(flat_cols.max()) + 1 if flat_cols.size else 1
+        stamp = np.full(span, -1, dtype=np.int64)
+        nat_rows = np.zeros(E + 1, dtype=np.int64)
+        nat_unique = np.zeros(E + 1, dtype=np.int64)
+        for e in range(E + 1):
+            lo, hi = elem_bounds[e], elem_bounds[e + 1]
+            nat_rows[e] = bounds[e + 1] - bounds[e]
+            if lo == hi:
+                continue
+            # Ascending e: the stamp ends up holding each column's max
+            # exponent, and counting fresh stamps gives the group's
+            # distinct-column count in O(span) without a sort.
+            stamp[flat_cols[lo:hi]] = e
+            nat_unique[e] = int(np.count_nonzero(stamp == e))
+        self._nat_rows = nat_rows
+        self._nat_unique = nat_unique
         self._naturals = {
             e: _NaturalBucket(
-                exponent=e,
-                num_rows=int(bounds[e + 1] - bounds[e]),
-                unique_cols=int(per_exp_unique[e]),
+                exponent=e, num_rows=int(nat_rows[e]), unique_cols=int(nat_unique[e])
             )
             for e in range(E + 1)
-            if bounds[e + 1] > bounds[e]
+            if nat_rows[e]
         }
 
         # --- suffix statistics for the cap bucket -----------------------
-        # Order rows by exponent DESC so "rows with exponent >= m" is a prefix.
-        desc = order[::-1]
-        rows_d, l_d = rows[desc], l[desc]
-        starts_d = indptr[rows_d].astype(np.int64)
-        within_d = np.arange(int(l_d.sum())) - np.repeat(np.cumsum(l_d) - l_d, l_d)
-        cols_d = indices[np.repeat(starts_d, l_d) + within_d].astype(np.int64)
-        _, first_pos = np.unique(cols_d, return_index=True)
-        first_pos = np.sort(first_pos)
-        # element boundary of the prefix "exponent >= m" for m = 0..E+1
-        exps_d = exps[desc]
-        # rows with exponent >= m form a prefix of the descending order:
-        # count = positions where -exp <= -m (side="right" on ascending -exp).
-        row_boundary = np.searchsorted(-exps_d, -np.arange(E + 2), side="right")
-        elem_boundary = np.concatenate([[0], np.cumsum(l_d)])[row_boundary]
-        self._suffix_unique = np.searchsorted(first_pos, elem_boundary)
-        self._suffix_rows = row_boundary
-        self._lengths_desc = l_d
-        self._exp_boundaries = elem_boundary
+        # A column is referenced by "rows with exponent >= m" exactly when
+        # its max exponent is >= m: a reversed cumulative histogram of the
+        # stamp array yields every suffix count at once.
+        colmax_hist = np.bincount(stamp[stamp >= 0], minlength=E + 1)
+        suffix_unique = np.zeros(E + 2, dtype=np.int64)
+        suffix_unique[: E + 1] = np.cumsum(colmax_hist[::-1])[::-1]
+        self._suffix_unique = suffix_unique
+        row_hist = np.bincount(exps, minlength=E + 1)
+        suffix_rows = np.zeros(E + 2, dtype=np.int64)
+        suffix_rows[: E + 1] = np.cumsum(row_hist[::-1])[::-1]
+        self._suffix_rows = suffix_rows
+        self._lengths_desc = l[order[::-1]]
 
     def cap_bucket_rows(self, max_exp: int) -> int:
         """I1 of the cap bucket: folded chunks of all rows with exp >= cap."""
@@ -210,6 +241,66 @@ class PartitionCostProfile:
             )
         return total
 
+    def all_costs(
+        self,
+        J: int,
+        num_partitions: int = 1,
+        atomic_weight: float = DEFAULT_ATOMIC_WEIGHT,
+        legacy_eq7: bool = False,
+    ) -> np.ndarray:
+        """``GetAllCost``: the cost of **every** candidate cap at once.
+
+        Returns an array ``c`` with ``c[m] == self.cost(m, J, ...)``
+        bit-for-bit, for ``m = 0..natural_max_exp``, computed from the
+        precomputed histograms in one vectorized pass (a prefix cumsum over
+        the natural buckets plus a 2-D ceil-division for the cap bucket's
+        folded row counts).  ``TuneWidth``/the exhaustive sweep read from
+        this instead of probing the scalar ``cost`` per candidate.  Results
+        are cached per ``(J, num_partitions, atomic_weight, legacy_eq7)``.
+        """
+        if J < 1:
+            raise ValueError(f"J must be >= 1, got {J}")
+        key = (J, num_partitions, atomic_weight, legacy_eq7)
+        cached = self._all_costs_cache.get(key)
+        if cached is not None:
+            return cached
+        E = self.natural_max_exp
+        if self.num_nonempty_rows == 0:
+            out = np.zeros(E + 1)
+            self._all_costs_cache[key] = out
+            return out
+        multi = num_partitions > 1 and not legacy_eq7
+        e = np.arange(E + 1)
+        W = (1 << e).astype(np.float64)
+        I1 = self._nat_rows.astype(np.float64)
+        U = self._nat_unique.astype(np.float64)
+        out_weight = atomic_weight if multi else 1.0
+        zero_cost = I1 * float(J) if multi else np.zeros(E + 1)
+        # Same operation order as bucket_cost so the sums stay bit-identical.
+        nat = 2.0 * I1 * W + U * float(J) + out_weight * I1 * float(J) + zero_cost
+        nat[self._nat_rows == 0] = 0.0
+        # cost(m) sums natural buckets below the cap in ascending-e order;
+        # cumsum reproduces that exact float accumulation sequence.
+        prefix = np.concatenate([[0.0], np.cumsum(nat)])
+        # Cap bucket at each m: rows with exponent >= m fold at width 2^m.
+        n_rows = self._suffix_rows[: E + 1]
+        widths = (1 << e).astype(np.int64)
+        ceil_div = -(-self._lengths_desc[None, :] // widths[:, None])
+        csum = np.concatenate(
+            [np.zeros((E + 1, 1), dtype=np.int64), np.cumsum(ceil_div, axis=1)],
+            axis=1,
+        )
+        cap_I1 = csum[e, n_rows].astype(np.float64)
+        cap_U = self._suffix_unique[: E + 1].astype(np.float64)
+        atomic = ((e < E) | multi) & (not legacy_eq7)
+        cap_weight = np.where(atomic, atomic_weight, 1.0)
+        cap_zero = np.where(atomic, n_rows.astype(np.float64) * float(J), 0.0)
+        cap = 2.0 * cap_I1 * W + cap_U * float(J) + cap_weight * cap_I1 * float(J) + cap_zero
+        cap[cap_I1 == 0] = 0.0
+        out = prefix[: E + 1] + cap
+        self._all_costs_cache[key] = out
+        return out
+
     def bucket_summary(self, max_exp: int) -> list[tuple[int, int, int]]:
         """(width, I1, unique) per bucket under the given cap — for tests."""
         if self.num_nonempty_rows == 0:
@@ -226,20 +317,31 @@ class PartitionCostProfile:
 
 
 def matrix_cost_profiles(
-    A: sp.csr_matrix, num_partitions: int
+    A: sp.csr_matrix,
+    num_partitions: int,
+    cells: tuple[sp.csr_matrix, list[tuple[int, int]], np.ndarray, np.ndarray]
+    | None = None,
 ) -> list[PartitionCostProfile]:
-    """Build one cost profile per column partition of ``A``."""
-    I, K = A.shape
-    bounds = partition_bounds(K, num_partitions)
-    profiles = []
-    csc = A.tocsc() if num_partitions > 1 else None
-    for c0, c1 in bounds:
-        sub = csc[:, c0:c1].tocsr() if csc is not None else A
-        lengths = np.diff(sub.indptr).astype(np.int64)
-        profiles.append(
-            PartitionCostProfile(lengths, sub.indptr.astype(np.int64), sub.indices)
+    """Build one cost profile per column partition of ``A``.
+
+    All partitions are carved out of the parent CSR arrays in one
+    :func:`repro.formats.cell.split_csr` pass — the profiles gather
+    straight from ``A.indices`` instead of materializing
+    ``csc[:, c0:c1].tocsr()`` slices per partition.  Pass a precomputed
+    ``cells`` split to share it with :meth:`CELLFormat.from_csr`.
+    """
+    if cells is None:
+        cells = split_csr(A, num_partitions)
+    A, bounds, counts, starts = cells
+    if len(bounds) != num_partitions:
+        raise ValueError(
+            f"cells was split into {len(bounds)} partitions, "
+            f"expected {num_partitions}"
         )
-    return profiles
+    return [
+        PartitionCostProfile.from_cells(counts[:, p], starts[:, p], A.indices)
+        for p in range(len(bounds))
+    ]
 
 
 def total_cost(profiles: list[PartitionCostProfile], max_exps: list[int], J: int) -> float:

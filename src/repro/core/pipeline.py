@@ -24,7 +24,7 @@ from repro.formats.base import SparseFormat, as_csr
 from repro.matrices.features import format_selection_features
 from repro.obs import get_registry, get_tracer
 from repro.formats.bcsr import BCSRFormat
-from repro.formats.cell import CELLFormat
+from repro.formats.cell import CELLFormat, split_csr
 from repro.formats.csr import CSRFormat
 from repro.gpu.device import SimulatedDevice
 from repro.gpu.stats import Measurement
@@ -202,7 +202,9 @@ class LiteForm:
         t2 = time.perf_counter()
 
         with tracer.span("tune_width", num_partitions=num_partitions):
-            profiles = matrix_cost_profiles(A, num_partitions)
+            # One bulk split shared by tune and build below.
+            cells = split_csr(A, num_partitions)
+            profiles = matrix_cost_profiles(A, num_partitions, cells=cells)
             results = [
                 build_buckets(p, J, num_partitions=num_partitions)
                 if p.num_nonempty_rows
@@ -219,6 +221,7 @@ class LiteForm:
                 num_partitions=num_partitions,
                 max_widths=widths,
                 block_multiple=self.block_multiple,
+                cells=cells,
             )
         t4 = time.perf_counter()
         plan = ComposePlan(

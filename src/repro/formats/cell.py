@@ -107,6 +107,21 @@ class Bucket:
         unique = np.bincount((uniq // span).astype(np.int64), minlength=n_waves)
         return unique.astype(np.int64), refs
 
+    @cached_property
+    def csr_slab(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(data, indices, indptr)`` of this bucket as a CSR slab.
+
+        The stored entries of each bucket row, pads stripped, in stored
+        order — exactly the arrays :class:`repro.kernels.cell_spmm.CELLSpMM`
+        needs for its fused gather, cached so repeated executions of the
+        same plan (the serving steady state) skip the mask/gather work.
+        """
+        mask = self.col != PAD
+        lens = mask.sum(axis=1)
+        indptr = np.zeros(self.num_rows + 1, dtype=np.int64)
+        np.cumsum(lens, out=indptr[1:])
+        return self.val[mask], self.col[mask], indptr
+
     @property
     def num_blocks(self) -> int:
         if self.num_rows == 0:
@@ -155,6 +170,58 @@ def partition_bounds(num_cols: int, num_partitions: int) -> list[tuple[int, int]
         )
     edges = np.linspace(0, num_cols, num_partitions + 1).astype(np.int64)
     return [(int(edges[p]), int(edges[p + 1])) for p in range(num_partitions)]
+
+
+def partition_cells(
+    A: sp.csr_matrix, bounds: list[tuple[int, int]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-(row, partition) element counts and offsets, in one bulk pass.
+
+    For canonical CSR (column-sorted rows), each row's elements fall into
+    contiguous per-partition runs, so a single ``searchsorted`` over the
+    partition edges plus one ``bincount`` replaces the per-partition
+    ``csc[:, c0:c1].tocsr()`` slices the builder previously performed.
+
+    Returns ``(counts, starts)``, both of shape ``(num_rows, P)``:
+    ``counts[r, p]`` is the number of stored elements of row ``r`` inside
+    partition ``p`` and ``starts[r, p]`` the offset of that run in
+    ``A.indices`` / ``A.data``.  Callers gather partition ``p``'s data
+    directly from the parent arrays — no per-partition copies exist.
+    """
+    P = len(bounds)
+    I = A.shape[0]
+    indptr = A.indptr.astype(np.int64)
+    if P == 1:
+        lens = np.diff(indptr)
+        return lens[:, None], indptr[:-1][:, None]
+    edges = np.asarray([c1 for _, c1 in bounds[:-1]], dtype=np.int64)
+    part = np.searchsorted(edges, A.indices, side="right")
+    row_of = np.repeat(np.arange(I, dtype=np.int64), np.diff(indptr))
+    counts = np.bincount(row_of * P + part, minlength=I * P).reshape(I, P)
+    starts = np.zeros((I, P), dtype=np.int64)
+    np.cumsum(counts[:, :-1], axis=1, out=starts[:, 1:])
+    starts += indptr[:-1, None]
+    return counts, starts
+
+
+def split_csr(
+    A: sp.csr_matrix, num_partitions: int
+) -> tuple[sp.csr_matrix, list[tuple[int, int]], np.ndarray, np.ndarray]:
+    """Canonicalize (when required) and bulk-split ``A`` into partitions.
+
+    Returns ``(A, bounds, counts, starts)`` — ``A`` possibly rewritten to
+    canonical form (the bulk split relies on column-sorted rows; the CSC
+    round trip reproduces exactly the ordering the old per-partition
+    ``csc[:, c0:c1].tocsr()`` slices induced).  The tuple can be handed to
+    both :func:`repro.core.cost_model.matrix_cost_profiles` and
+    :meth:`CELLFormat.from_csr` via ``cells=`` so tune and build share one
+    split instead of each recomputing it.
+    """
+    bounds = partition_bounds(A.shape[1], num_partitions)
+    if num_partitions > 1 and not A.has_canonical_format:
+        A = A.tocsc().tocsr()
+    counts, starts = partition_cells(A, bounds)
+    return A, bounds, counts, starts
 
 
 def _fold_chunks(
@@ -225,12 +292,13 @@ class CELLFormat(SparseFormat):
         num_partitions: int = 1,
         max_widths: int | list[int | None] | None = None,
         block_multiple: int = 2,
+        cells: tuple[sp.csr_matrix, list[tuple[int, int]], np.ndarray, np.ndarray]
+        | None = None,
         **kwargs,
     ) -> "CELLFormat":
         if block_multiple < 1 or (block_multiple & (block_multiple - 1)):
             raise ValueError(f"block_multiple must be a power of two, got {block_multiple}")
         I, K = A.shape
-        bounds = partition_bounds(K, num_partitions)
         if max_widths is None or isinstance(max_widths, (int, np.integer)):
             width_caps: list[int | None] = [max_widths] * num_partitions  # type: ignore[list-item]
         else:
@@ -240,15 +308,23 @@ class CELLFormat(SparseFormat):
                     f"max_widths has {len(width_caps)} entries for "
                     f"{num_partitions} partitions"
                 )
-        csc = A.tocsc() if num_partitions > 1 else None
+        if cells is None:
+            cells = split_csr(A, num_partitions)
+        A, bounds, counts, starts = cells
+        if len(bounds) != num_partitions:
+            raise ValueError(
+                f"cells was split into {len(bounds)} partitions, "
+                f"expected {num_partitions}"
+            )
         partitions: list[Partition] = []
         for p, (c0, c1) in enumerate(bounds):
-            if csc is not None:
-                sub = csc[:, c0:c1].tocsr()
-            else:
-                sub = A
             buckets = cls._build_partition_buckets(
-                sub, col_offset=c0, max_width=width_caps[p], block_multiple=block_multiple
+                counts[:, p],
+                starts[:, p],
+                A.indices,
+                A.data,
+                max_width=width_caps[p],
+                block_multiple=block_multiple,
             )
             partitions.append(
                 Partition(index=p, col_start=c0, col_end=c1, buckets=buckets)
@@ -257,9 +333,19 @@ class CELLFormat(SparseFormat):
 
     @staticmethod
     def _build_partition_buckets(
-        sub: sp.csr_matrix, col_offset: int, max_width: int | None, block_multiple: int
+        lengths: np.ndarray,
+        starts: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        max_width: int | None,
+        block_multiple: int,
     ) -> list[Bucket]:
-        lengths = np.diff(sub.indptr).astype(np.int64)
+        """Build one partition's buckets by gathering straight from the
+        parent CSR arrays: ``lengths[r]`` elements of row ``r`` live at
+        ``indices[starts[r]:starts[r] + lengths[r]]`` (already global
+        column ids), so no per-partition matrix is ever materialized.
+        """
+        lengths = np.asarray(lengths, dtype=np.int64)
         chunk_row, chunk_off, chunk_len, chunk_exp, chunk_folded = _fold_chunks(
             lengths, max_width
         )
@@ -276,7 +362,7 @@ class CELLFormat(SparseFormat):
         chunk_folded = chunk_folded[order]
         buckets: list[Bucket] = []
         boundaries = np.searchsorted(chunk_exp, np.arange(max_exp + 2))
-        indptr = sub.indptr.astype(np.int64)
+        starts = np.asarray(starts, dtype=np.int64)
         for e in range(max_exp + 1):
             lo, hi = boundaries[e], boundaries[e + 1]
             if lo == hi:
@@ -290,12 +376,12 @@ class CELLFormat(SparseFormat):
             val = np.zeros((R, width), dtype=VALUE_DTYPE)
             total = int(lens.sum())
             if total:
-                starts = indptr[rows] + offs
+                row_starts = starts[rows] + offs
                 within = np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens)
-                src = np.repeat(starts, lens) + within
+                src = np.repeat(row_starts, lens) + within
                 dst = np.repeat(np.arange(R, dtype=np.int64), lens) * width + within
-                col.ravel()[dst] = sub.indices[src] + col_offset
-                val.ravel()[dst] = sub.data[src]
+                col.ravel()[dst] = indices[src]
+                val.ravel()[dst] = data[src]
             buckets.append(
                 Bucket(
                     width=width,

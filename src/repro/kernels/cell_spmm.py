@@ -7,7 +7,6 @@ import scipy.sparse as sp
 
 from repro.formats.base import VALUE_DTYPE
 from repro.formats.cell import Bucket, CELLFormat
-from repro.formats.ell import PAD
 from repro.gpu.memory import CacheModel, coalesced_bytes
 from repro.gpu.stats import KernelStats
 from repro.kernels.base import (
@@ -115,19 +114,23 @@ class CELLSpMM(SpMMKernel):
         I, J = fmt.shape[0], B.shape[1]
         C = np.zeros((I, J), dtype=VALUE_DTYPE)
         for _, bucket in fmt.iter_buckets():
-            mask = bucket.col != PAD
-            if not mask.any():
+            # Cached compact slab: columns within each bucket row are already
+            # in CSR order, so the direct constructor needs no COO sort.
+            data, indices, indptr = bucket.csr_slab
+            if not data.size:
                 continue
-            local_rows = np.nonzero(mask)[0]
             slab = sp.csr_matrix(
-                (bucket.val[mask], (local_rows, bucket.col[mask])),
+                (data, indices, indptr),
                 shape=(bucket.num_rows, fmt.shape[1]),
-                dtype=VALUE_DTYPE,
             )
             partial = np.asarray(slab @ B)
             row_ind = bucket.row_ind.astype(np.int64)
-            if fmt.needs_atomic(bucket):
-                # atomicAdd path: folded rows / cross-partition accumulation.
+            if bucket.has_folds:
+                # Folded chunks alias output rows, so the scatter must
+                # accumulate duplicates — the atomicAdd path of the plan.
+                # (Cross-partition accumulation still counts as atomic in
+                # plan()'s cost model, but across buckets plain ``+=`` is
+                # exact: each bucket touches a row at most once here.)
                 np.add.at(C, row_ind, partial)
             else:
                 C[row_ind] += partial
