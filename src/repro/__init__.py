@@ -68,6 +68,8 @@ _SERVE_EXPORTS = (
     "generate_workload",
     "Scheduler",
     "Batcher",
+    "ClusterFrontend",
+    "ShardRing",
 )
 
 

@@ -271,6 +271,57 @@ def _bench_serve(repeats: int) -> Iterator[Metric]:
     yield Metric("serve.cache_hits", float(last_metrics.cache_hits), "exact")
 
 
+def _bench_cluster(repeats: int) -> Iterator[Metric]:
+    """Sharded replay + one elastic-membership change, all deterministic:
+    the remigration fraction and the fleet's simulated makespan are
+    regression-gated alongside the wall time."""
+    from repro.serve import ClusterFrontend
+
+    coll = SuiteSparseLikeCollection(size=6, max_rows=2000, seed=11)
+    liteform = LiteForm().fit(generate_training_data(coll, J_values=(32,)))
+    spec = WorkloadSpec(
+        num_requests=48,
+        num_matrices=8,
+        J_choices=(32,),
+        max_rows=2000,
+        with_operands=False,
+        seed=5,
+    )
+    requests = generate_workload(spec)
+
+    last = None
+
+    def replay():
+        nonlocal last
+        frontend = ClusterFrontend(
+            liteform,
+            num_shards=4,
+            replication=2,
+            hot_fraction=0.2,
+            seed=9,
+        )
+        frontend.replay(requests)
+        change = frontend.add_shard()
+        frontend.replay(requests)
+        last = (frontend, change)
+        return frontend
+
+    yield Metric(
+        "cluster.replay.wall_ms", _median_wall_ms(replay, repeats), "wall", "ms"
+    )
+    assert last is not None
+    frontend, change = last
+    yield Metric("cluster.requests", float(frontend.metrics.completed), "exact")
+    yield Metric("cluster.failed", float(frontend.metrics.failed), "exact")
+    yield Metric("cluster.plans_migrated", float(change.plans_migrated), "exact")
+    yield Metric(
+        "cluster.remigration_fraction", change.fraction, "exact", tol=1e-9
+    )
+    yield Metric(
+        "cluster.makespan_virtual_ms", frontend.makespan_ms, "virtual", "ms"
+    )
+
+
 def run_suite(repeats: int = 3, include_serve: bool = True) -> dict:
     """Run the pinned benchmark suite and return a snapshot dict."""
     if repeats < 1:
@@ -282,6 +333,7 @@ def run_suite(repeats: int = 3, include_serve: bool = True) -> dict:
     metrics.extend(_bench_kernel(entries, repeats))
     if include_serve:
         metrics.extend(_bench_serve(repeats))
+        metrics.extend(_bench_cluster(repeats))
     return {
         "schema": SCHEMA_VERSION,
         "rev": git_rev(),

@@ -242,6 +242,57 @@ def cmd_serve(args) -> int:
             f"degrade={'off' if args.no_degrade else 'on'})",
             file=sys.stderr,
         )
+    requests = generate_workload(spec)
+    if args.shards:
+        from repro.gpu.multi import MultiGPUSpec
+        from repro.serve import ClusterFrontend
+
+        device_factory = None
+        if args.faults or args.death_rate or args.spike_rate:
+            from repro.gpu.faults import FaultPolicy, FaultyDevice
+
+            def device_factory(shard_index, device_index):
+                return FaultyDevice(
+                    faults=FaultPolicy(
+                        transient_oom_rate=args.faults,
+                        death_rate=args.death_rate,
+                        latency_spike_rate=args.spike_rate,
+                        seed=args.seed + 1000 + shard_index * 100 + device_index,
+                    )
+                )
+
+        frontend = ClusterFrontend(
+            lf,
+            num_shards=args.shards,
+            virtual_nodes=args.virtual_nodes,
+            replication=args.replication,
+            multi_spec=MultiGPUSpec(num_gpus=args.devices),
+            device_factory=device_factory,
+            cache_bytes_per_shard=int(args.cache_mb * 2**20),
+            batch=args.batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+            retry=RetryPolicy(max_attempts=args.retries),
+            degrade_on_oom=not args.no_degrade,
+            seed=args.seed,
+        )
+        chaos = (
+            f", killing a shard at {args.kill_shard:g} ms"
+            if args.kill_shard is not None
+            else ""
+        )
+        print(
+            f"cluster: {args.shards} shards x {args.devices} devices, "
+            f"replication {args.replication}{chaos}",
+            file=sys.stderr,
+        )
+        with _maybe_trace(args):
+            frontend.replay(requests, kill_shard_at_ms=args.kill_shard)
+        if args.json:
+            print(json.dumps(frontend.snapshot(), indent=2))
+        else:
+            print(frontend.report())
+        return 0
     server = SpMMServer(
         liteform=lf,
         cache=PlanCache(max_bytes=int(args.cache_mb * 2**20)),
@@ -250,7 +301,6 @@ def cmd_serve(args) -> int:
         retry=RetryPolicy(max_attempts=args.retries),
         degrade_on_oom=not args.no_degrade,
     )
-    requests = generate_workload(spec)
     if args.batch:
         from repro.serve import Scheduler
 
@@ -294,6 +344,29 @@ def cmd_stats(args) -> int:
         with_operands=False,
         seed=args.seed,
     )
+    if args.shards:
+        from repro.serve import ClusterFrontend
+        from repro.serve.cluster import ClusterMetrics
+
+        frontend = ClusterFrontend(
+            lf,
+            num_shards=args.shards,
+            metrics=ClusterMetrics(registry=registry),
+        )
+        print(
+            f"replaying {spec.num_requests} measure-only requests over "
+            f"{args.shards} shards ...",
+            file=sys.stderr,
+        )
+        frontend.replay(generate_workload(spec))
+        if args.json:
+            out = registry.snapshot()
+            out["cluster"] = frontend.snapshot()
+            print(json.dumps(out, indent=2))
+        else:
+            print(registry.render_prometheus(), end="")
+            print(frontend.report())
+        return 0
     server = SpMMServer(
         liteform=lf,
         cache=PlanCache(),
@@ -451,6 +524,16 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--arrival-rate", type=float, default=None, metavar="RPS",
                     help="Poisson arrival rate in requests per simulated "
                          "second (default: untimed closed-loop trace)")
+    sp.add_argument("--shards", type=int, default=0, metavar="N",
+                    help="serve through an N-shard ClusterFrontend instead of "
+                         "one server (0 = single node)")
+    sp.add_argument("--replication", type=int, default=1, metavar="K",
+                    help="replicate hot fingerprints to K shards (cluster mode)")
+    sp.add_argument("--virtual-nodes", type=int, default=64, metavar="V",
+                    help="virtual nodes per shard on the consistent-hash ring")
+    sp.add_argument("--kill-shard", type=float, default=None, metavar="AT_MS",
+                    help="chaos: kill the busiest shard once the replay "
+                         "reaches this virtual timestamp (cluster mode)")
     sp.add_argument("--max-queue", type=int, default=None, metavar="N",
                     help="bounded scheduler queue; overflow arrivals are "
                          "shed to the degraded path (default: unbounded)")
@@ -474,6 +557,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--models", help="saved LiteForm models (from `train`)")
     sp.add_argument("--train-size", type=int, default=8,
                     help="collection size when training ad hoc")
+    sp.add_argument("--shards", type=int, default=0, metavar="N",
+                    help="replay through an N-shard cluster and include "
+                         "per-shard stats (0 = single server)")
     sp.add_argument("--json", action="store_true",
                     help="JSON snapshot instead of Prometheus text exposition")
     sp.set_defaults(func=cmd_stats)

@@ -60,11 +60,22 @@ class MultiGPUResult:
 
 
 def partition_rows_by_nnz(A: sp.csr_matrix, num_shards: int) -> list[tuple[int, int]]:
-    """Contiguous row ranges with (approximately) equal non-zero counts."""
+    """Contiguous row ranges with (approximately) equal non-zero counts.
+
+    ``num_shards`` is clamped to the row count (a shard needs at least
+    one row to be meaningful), so asking for more shards than rows
+    returns one range per row.
+    """
     if num_shards < 1:
         raise ValueError(f"num_shards must be >= 1, got {num_shards}")
     I = A.shape[0]
     num_shards = min(num_shards, max(1, I))
+    if A.nnz == 0:
+        # All nnz targets coincide at 0, which would collapse every
+        # searchsorted cut onto row 0 (first shard gets all rows, the
+        # rest nothing).  With no work to balance, balance rows instead.
+        edges = np.linspace(0, I, num_shards + 1).astype(int)
+        return [(int(edges[i]), int(edges[i + 1])) for i in range(num_shards)]
     targets = np.linspace(0, A.nnz, num_shards + 1)
     cuts = np.searchsorted(A.indptr, targets[1:-1], side="left")
     edges = [0, *[int(c) for c in cuts], I]
@@ -83,9 +94,25 @@ class MultiGPUSimulator:
     pipeline, or a fixed-format builder for baselines.
     """
 
-    def __init__(self, spec: MultiGPUSpec | None = None):
+    def __init__(
+        self,
+        spec: MultiGPUSpec | None = None,
+        devices: list[SimulatedDevice] | None = None,
+    ):
         self.spec = spec or MultiGPUSpec()
-        self._device = SimulatedDevice(spec=self.spec.gpu)
+        if devices is None:
+            devices = [
+                SimulatedDevice(spec=self.spec.gpu)
+                for _ in range(self.spec.num_gpus)
+            ]
+        elif len(devices) != self.spec.num_gpus:
+            raise ValueError(
+                f"got {len(devices)} devices for a {self.spec.num_gpus}-GPU spec"
+            )
+        #: One simulated device per GPU — shard ``i`` always measures on
+        #: ``devices[i]``, so per-device state (launch counters, injected
+        #: faults) attributes to the GPU that actually ran the shard.
+        self.devices = devices
 
     def measure(self, A: sp.spmatrix, J: int, compose_fn) -> MultiGPUResult:
         A = as_csr(A)
@@ -93,13 +120,13 @@ class MultiGPUSimulator:
             raise ValueError(f"J must be >= 1, got {J}")
         shards = partition_rows_by_nnz(A, self.spec.num_gpus)
         shard_times: list[float] = []
-        for r0, r1 in shards:
+        for (r0, r1), device in zip(shards, self.devices):
             sub = A[r0:r1]
             if sub.nnz == 0:
                 shard_times.append(0.0)
                 continue
             fmt, kernel = compose_fn(sub, J)
-            shard_times.append(kernel.measure(fmt, J, self._device).time_s)
+            shard_times.append(kernel.measure(fmt, J, device).time_s)
 
         link = self.spec.interconnect_gbs * 1e9
         lat = self.spec.collective_latency_us * 1e-6

@@ -33,6 +33,14 @@ See docs/SERVING.md for cache keying, eviction, deadline, batching, and
 resilience semantics.
 """
 
+from repro.serve.cluster import (
+    ClusterFrontend,
+    ClusterMetrics,
+    MembershipChange,
+    ShardRing,
+    WindowedFrequencySketch,
+    remigration_fraction,
+)
 from repro.serve.fingerprint import MatrixFingerprint, fingerprint_csr, plan_key
 from repro.serve.metrics import LatencySeries, ServerMetrics
 from repro.serve.plan_cache import CACHE_MAGIC, CacheEntry, PlanCache
@@ -49,6 +57,12 @@ from repro.serve.workload import WorkloadSpec, generate_workload, zipf_weights
 __all__ = [
     "CircuitBreaker",
     "RetryPolicy",
+    "ClusterFrontend",
+    "ClusterMetrics",
+    "MembershipChange",
+    "ShardRing",
+    "WindowedFrequencySketch",
+    "remigration_fraction",
     "MatrixFingerprint",
     "fingerprint_csr",
     "plan_key",

@@ -1,0 +1,718 @@
+"""`ClusterFrontend` — the sharded serving fleet.
+
+Everything below the frontend already exists: each shard is a full
+:class:`~repro.serve.server.SpMMServer` (plan cache, admission control,
+retries, breakers, OOM degradation) — optionally wrapped in a
+:class:`~repro.serve.scheduler.Scheduler` for fingerprint-coalesced
+micro-batching — over its own partition of the simulated device pool
+(per-shard :class:`~repro.gpu.multi.MultiGPUSpec`).  The frontend adds
+the fleet layer on top:
+
+* **cache-aware routing** — requests are fingerprinted once and routed
+  through a :class:`~repro.serve.cluster.ring.ShardRing`, so every
+  request for the same matrix lands on the shard already holding its
+  composed plan;
+* **hot-key replication** — a
+  :class:`~repro.serve.cluster.hotkeys.WindowedFrequencySketch` watches
+  the recent stream; once one fingerprint dominates (a Zipf head), its
+  cached plan is copied to the next ``replication`` shards on the ring
+  and traffic is spread among the replicas with power-of-two-choices
+  routing (pick two seeded-random replicas, send to the less loaded);
+* **elastic membership** — :meth:`add_shard` / :meth:`remove_shard`
+  re-balance only the ~1/N of the key space the ring reassigns, moving
+  the affected cached plans between shards with the existing
+  :meth:`~repro.serve.plan_cache.PlanCache.save` /
+  :meth:`~repro.serve.plan_cache.PlanCache.load` spill bundles as the
+  migration transport (cross-shard warm start: the receiving shard's
+  first request for a migrated key is a cache hit, not a recompose);
+* **rebalance-safe chaos** — :meth:`kill_shard` models abrupt shard
+  death: the ring is repaired, the dead shard's queued requests are
+  re-routed to the survivors, and its cache is simply lost (survivors
+  recompose on miss).  A request failed by a shard (e.g. its whole
+  device pool died) is re-routed to the next live shard on the ring
+  instead of being surfaced as a failure, so cluster availability is at
+  least the single-node availability PR 3 established.
+
+The serving surface mirrors the server/scheduler contract:
+``submit() / poll() / drain()`` with ``serve()`` and ``replay()`` as
+wrappers.  Because every shard composes with the same deterministic
+pipeline and executes on the same analytical device model, responses are
+bit-identical to single-node serving no matter which shard (or replica)
+serves a request — the cluster benchmark asserts exactly this.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.pipeline import LiteForm
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.multi import MultiGPUSpec
+from repro.obs import get_tracer
+from repro.serve.cluster.hotkeys import DEFAULT_WINDOW, WindowedFrequencySketch
+from repro.serve.cluster.metrics import ClusterMetrics
+from repro.serve.cluster.ring import DEFAULT_VIRTUAL_NODES, ShardRing
+from repro.serve.fingerprint import fingerprint_csr, plan_key
+from repro.serve.plan_cache import DEFAULT_MAX_BYTES, CacheEntry, PlanCache
+from repro.serve.resilience import RetryPolicy
+from repro.serve.scheduler import Scheduler
+from repro.serve.server import SpMMRequest, SpMMResponse, SpMMServer
+
+
+@dataclass
+class _Pending:
+    """One routed-but-not-yet-served request, fingerprinted at submit."""
+
+    ticket: int
+    request: SpMMRequest
+    A: sp.csr_matrix
+    key: str
+    #: Shards that already failed this request (reroutes avoid them).
+    excluded: set[str] = field(default_factory=set)
+
+
+@dataclass
+class _Shard:
+    """One fleet member: a server (plus optional scheduler) and its queue."""
+
+    shard_id: str
+    server: SpMMServer
+    scheduler: Scheduler | None
+    num_devices: int
+    pending: list[_Pending] = field(default_factory=list)
+    alive: bool = True
+    #: Routing decisions that chose this shard.
+    routed: int = 0
+    #: Requests whose final response this shard produced.
+    completed: int = 0
+    #: Simulated kernel milliseconds charged to this shard's pool.
+    exec_busy_ms: float = 0.0
+
+    @property
+    def busy_ms(self) -> float:
+        """Simulated busy time normalized by the shard's pool width."""
+        return self.exec_busy_ms / max(1, self.num_devices)
+
+
+@dataclass(frozen=True)
+class MembershipChange:
+    """Outcome report of one elastic-membership operation."""
+
+    kind: str  # "add" | "remove" | "kill"
+    shard_id: str
+    #: Cached plans resident cluster-wide when the change started.
+    cached_keys: int
+    #: Cached plans whose owning shard changed.
+    keys_moved: int
+    #: Cached plans actually migrated through a spill bundle (killed
+    #: shards lose theirs instead).
+    plans_migrated: int
+    #: Queued requests re-routed off the departing shard.
+    requeued: int
+
+    @property
+    def fraction(self) -> float:
+        """``keys_moved / cached_keys`` — the measured remigration cost."""
+        return self.keys_moved / self.cached_keys if self.cached_keys else 0.0
+
+
+class ClusterFrontend:
+    """Sharded serving fleet with cache-aware consistent-hash routing."""
+
+    def __init__(
+        self,
+        liteform: LiteForm,
+        num_shards: int = 4,
+        *,
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+        replication: int = 1,
+        hot_window: int = DEFAULT_WINDOW,
+        hot_fraction: float = 0.1,
+        hot_min_count: int = 4,
+        multi_spec: MultiGPUSpec | None = None,
+        device_factory=None,
+        cache_bytes_per_shard: int = DEFAULT_MAX_BYTES,
+        batch: int = 0,
+        max_wait_ms: float = 2.0,
+        max_queue: int | None = None,
+        retry: RetryPolicy | None = None,
+        degrade_on_oom: bool = True,
+        reroute_on_failure: bool = True,
+        spill_dir: str | Path | None = None,
+        seed: int = 0,
+        metrics: ClusterMetrics | None = None,
+    ):
+        """``num_shards`` initial shards, each with its own plan cache and
+        a device pool described by ``multi_spec`` (``num_gpus`` devices of
+        ``multi_spec.gpu`` per shard; default one V100-class device).
+
+        ``device_factory(shard_index, device_index) -> SimulatedDevice``
+        overrides device construction — the hook fault injection uses to
+        hand each shard :class:`~repro.gpu.faults.FaultyDevice` instances
+        with independent seeds.  ``replication`` > 1 enables hot-key
+        replication (a fingerprint above ``hot_fraction`` of the last
+        ``hot_window`` requests is replicated to that many shards);
+        ``batch`` > 0 puts a coalescing :class:`Scheduler` in front of
+        every shard.  ``spill_dir`` holds the migration bundles (a fresh
+        temp directory by default).
+        """
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in (0, 1], got {hot_fraction}")
+        self.liteform = liteform
+        self.replication = int(replication)
+        self.hot_fraction = float(hot_fraction)
+        self.hot_min_count = int(hot_min_count)
+        self.multi_spec = multi_spec or MultiGPUSpec(num_gpus=1)
+        self.device_factory = device_factory
+        self.cache_bytes_per_shard = int(cache_bytes_per_shard)
+        self.batch = int(batch)
+        self.max_wait_ms = max_wait_ms
+        self.max_queue = max_queue
+        self.retry = retry or RetryPolicy()
+        self.degrade_on_oom = degrade_on_oom
+        self.reroute_on_failure = reroute_on_failure
+        self.metrics = metrics or ClusterMetrics()
+        self.ring = ShardRing(virtual_nodes=virtual_nodes)
+        self._sketch = WindowedFrequencySketch(window=hot_window)
+        self._rng = np.random.default_rng(seed)
+        self._shards: dict[str, _Shard] = {}
+        self._next_shard_index = 0
+        self._next_ticket = 0
+        self._completed: dict[int, SpMMResponse] = {}
+        #: Ring version at which each hot key was last replicated.
+        self._replicated: dict[str, int] = {}
+        self._ring_version = 0
+        self._hot_seen: set[str] = set()
+        if spill_dir is None:
+            self._spill_tmp = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+            self._spill_dir = Path(self._spill_tmp.name)
+        else:
+            self._spill_tmp = None
+            self._spill_dir = Path(spill_dir)
+            self._spill_dir.mkdir(parents=True, exist_ok=True)
+        self._spill_seq = 0
+        for _ in range(num_shards):
+            shard = self._new_shard()
+            self._shards[shard.shard_id] = shard
+            self.ring.add_shard(shard.shard_id)
+        r = self.metrics.registry
+        r.gauge("cluster_shards_live", "Live shards on the ring",
+                callback=lambda self=self: len(self.ring))
+        r.gauge("cluster_routing_skew",
+                "Max over mean per-shard routed share (1.0 = balanced)",
+                callback=lambda self=self: self.routing_skew)
+        r.gauge("cluster_throughput_rps",
+                "Served requests per simulated second of fleet busy time",
+                callback=lambda self=self: self.aggregate_throughput_rps)
+
+    # -- fleet construction --------------------------------------------
+    def _new_shard(self) -> _Shard:
+        index = self._next_shard_index
+        self._next_shard_index += 1
+        shard_id = f"shard-{index}"
+        if self.device_factory is not None:
+            devices = [
+                self.device_factory(index, d)
+                for d in range(self.multi_spec.num_gpus)
+            ]
+        else:
+            devices = [
+                SimulatedDevice(spec=self.multi_spec.gpu)
+                for _ in range(self.multi_spec.num_gpus)
+            ]
+        server = SpMMServer(
+            liteform=self.liteform,
+            cache=PlanCache(max_bytes=self.cache_bytes_per_shard),
+            devices=devices,
+            retry=self.retry,
+            degrade_on_oom=self.degrade_on_oom,
+        )
+        scheduler = None
+        if self.batch:
+            scheduler = Scheduler(
+                server=server,
+                max_batch=self.batch,
+                max_wait_ms=self.max_wait_ms,
+                max_queue=self.max_queue,
+            )
+        return _Shard(
+            shard_id=shard_id,
+            server=server,
+            scheduler=scheduler,
+            num_devices=len(devices),
+        )
+
+    def _live(self) -> list[_Shard]:
+        """Live shards in ring (sorted-id) order."""
+        return [self._shards[sid] for sid in self.ring.shards]
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        """Live shard ids."""
+        return self.ring.shards
+
+    # -- routing -------------------------------------------------------
+    def _route(self, key: str, *, observe: bool = True) -> _Shard:
+        """Pick the shard for ``key``: ring owner, or power-of-two-choices
+        among the replica set once the key is hot."""
+        if observe:
+            self._sketch.observe(key)
+        tracer = get_tracer()
+        with tracer.span("route", key=key[:16]) as span:
+            # The absolute floor keeps a nearly-empty window from calling
+            # its very first key "hot" (frequency would be 1.0 after one
+            # observation).
+            hot = (
+                self.replication > 1
+                and len(self.ring) > 1
+                and self._sketch.count(key) >= self.hot_min_count
+                and self._sketch.frequency(key) >= self.hot_fraction
+            )
+            if hot:
+                if key not in self._hot_seen:
+                    self._hot_seen.add(key)
+                    self.metrics.hot_keys += 1
+                # Spreading traffic only makes sense once the replicas
+                # hold the plan; until then (primary hasn't composed yet)
+                # keep routing to the primary so the plan exists to copy.
+                hot = self._ensure_replicated(key)
+            if hot:
+                replicas = self.ring.route_replicas(key, self.replication)
+                if len(replicas) > 1:
+                    # Power of two choices: sample two replicas, take the
+                    # one with the shorter queue (ties keep ring order).
+                    i, j = self._rng.choice(len(replicas), size=2, replace=False)
+                    a, b = self._shards[replicas[i]], self._shards[replicas[j]]
+                    if len(b.pending) < len(a.pending):
+                        a = b
+                    self.metrics.replica_routes += 1
+                    span.set(hot=True, shard=a.shard_id)
+                    return a
+            shard = self._shards[self.ring.route(key)]
+            span.set(hot=hot, shard=shard.shard_id)
+            return shard
+
+    @property
+    def routing_skew(self) -> float:
+        """Max over mean routed count across live shards (1.0 = balanced)."""
+        counts = [s.routed for s in self._live()]
+        total = sum(counts)
+        if not counts or not total:
+            return 1.0
+        return max(counts) / (total / len(counts))
+
+    # -- plan movement (spill-bundle transport) ------------------------
+    def _spill(self, entries: list[CacheEntry]) -> Path:
+        """Write ``entries`` as a :meth:`PlanCache.save` bundle on disk."""
+        budget = max(1, sum(e.size_bytes for e in entries)) * 2
+        carrier = PlanCache(max_bytes=budget)
+        for e in entries:
+            carrier.put(e.key, e.plan, compose_overhead_s=e.compose_overhead_s)
+        path = self._spill_dir / f"migrate-{self._spill_seq:06d}.pkl"
+        self._spill_seq += 1
+        carrier.save(path)
+        return path
+
+    def _absorb(self, shard: _Shard, path: Path) -> int:
+        """Warm-start ``shard`` from a spill bundle; returns plans added."""
+        added = 0
+        for e in PlanCache.load(path).entries():
+            if shard.server.cache.peek(e.key) is None:
+                if shard.server.cache.put(
+                    e.key, e.plan, compose_overhead_s=e.compose_overhead_s
+                ):
+                    added += 1
+        return added
+
+    def _transfer(self, entries: list[CacheEntry], shard: _Shard) -> int:
+        """Move entries to ``shard`` through one save/load spill bundle."""
+        if not entries:
+            return 0
+        path = self._spill(entries)
+        try:
+            return self._absorb(shard, path)
+        finally:
+            path.unlink(missing_ok=True)
+
+    def _ensure_replicated(self, key: str) -> bool:
+        """Copy a hot key's cached plan to its replica shards (once per
+        ring version — membership changes re-derive the replica set).
+        Returns True once the replica set holds the plan; False while the
+        primary has not composed it yet (nothing to copy)."""
+        if self._replicated.get(key) == self._ring_version:
+            return True
+        primary = self._shards[self.ring.route(key)]
+        entry = primary.server.cache.peek(key)
+        if entry is None:
+            # Nothing composed yet — retry on a later request once the
+            # primary has the plan (the hot signal persists while the
+            # traffic does).
+            return False
+        targets = [
+            sid
+            for sid in self.ring.route_replicas(key, self.replication)
+            if sid != primary.shard_id
+        ]
+        if targets:
+            with get_tracer().span(
+                "migrate", kind="replicate", key=key[:16], replicas=len(targets)
+            ):
+                for sid in targets:
+                    self.metrics.plans_replicated += self._transfer(
+                        [entry], self._shards[sid]
+                    )
+        self._replicated[key] = self._ring_version
+        return True
+
+    # -- serving surface -----------------------------------------------
+    def submit(self, request: SpMMRequest) -> int:
+        """Fingerprint, route, and enqueue a request; returns a ticket."""
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        A = SpMMServer._canonical(request.matrix)
+        key = plan_key(fingerprint_csr(A), request.J)
+        shard = self._route(key)
+        shard.pending.append(
+            _Pending(ticket=ticket, request=request, A=A, key=key)
+        )
+        shard.routed += 1
+        self.metrics.routed += 1
+        return ticket
+
+    def poll(self, ticket: int) -> SpMMResponse | None:
+        """Claim one completed response (serving anything pending first)."""
+        self._process_all()
+        return self._completed.pop(ticket, None)
+
+    def drain(self) -> list[SpMMResponse]:
+        """Serve everything pending on every shard; returns all unclaimed
+        responses in submission (ticket) order."""
+        self._process_all()
+        return [self._completed.pop(t) for t in sorted(self._completed)]
+
+    def serve(self, request: SpMMRequest) -> SpMMResponse:
+        """Serve one request now — thin wrapper over submit/poll."""
+        response = self.poll(self.submit(request))
+        assert response is not None  # in-process poll always completes
+        return response
+
+    def _process_all(self) -> None:
+        # Rerouting a failed request enqueues it on another shard, so
+        # loop until every queue is empty.
+        while True:
+            busy = [s for s in self._live() if s.pending]
+            if not busy:
+                return
+            for shard in busy:
+                items, shard.pending = shard.pending, []
+                for item, response in zip(items, self._serve_on(shard, items)):
+                    self._finish(shard, item, response)
+
+    def _serve_on(self, shard: _Shard, items: list[_Pending]) -> list[SpMMResponse]:
+        if shard.scheduler is not None:
+            for item in items:
+                shard.scheduler.submit(item.request)
+            # Scheduler tickets are monotone, and drain returns unclaimed
+            # responses in ticket order — i.e. our submission order.
+            return shard.scheduler.drain()
+        return [
+            shard.server._serve_one(item.request, A=item.A, key=item.key)
+            for item in items
+        ]
+
+    def _finish(self, shard: _Shard, item: _Pending, response: SpMMResponse) -> None:
+        if response.failed and self.reroute_on_failure:
+            item.excluded.add(shard.shard_id)
+            target = next(
+                (
+                    sid
+                    for sid in self.ring.route_replicas(item.key, len(self.ring))
+                    if sid not in item.excluded
+                ),
+                None,
+            )
+            if target is not None:
+                self.metrics.rerouted += 1
+                self.metrics.routed += 1
+                dest = self._shards[target]
+                dest.pending.append(item)
+                dest.routed += 1
+                return
+        shard.completed += 1
+        if response.measurement is not None:
+            shard.exec_busy_ms += (
+                response.measurement.time_ms / max(1, response.batch_size)
+            )
+        self.metrics.completed += 1
+        if response.failed:
+            self.metrics.failed += 1
+        self._completed[item.ticket] = response
+
+    # -- elastic membership --------------------------------------------
+    def _primary_owned(self) -> dict[str, _Shard]:
+        """``{key: shard}`` for every cached plan resident on its ring
+        owner.  Replica copies (hot-key replication leaves duplicates on
+        successor shards) are excluded: for remigration accounting only
+        the *primary* placement is the ring's promise — duplicates are
+        disposable and never migrated."""
+        owned: dict[str, _Shard] = {}
+        for shard in self._live():
+            for key in shard.server.cache.keys():
+                if self.ring.route(key) == shard.shard_id:
+                    owned[key] = shard
+        return owned
+
+    def add_shard(self) -> MembershipChange:
+        """Grow the fleet by one shard, migrating the ~1/N of cached plans
+        the ring reassigns to it (spill-bundle warm start)."""
+        shard = self._new_shard()
+        with get_tracer().span("migrate", kind="add", shard=shard.shard_id):
+            owned = self._primary_owned()
+            self._shards[shard.shard_id] = shard
+            self.ring.add_shard(shard.shard_id)
+            self._ring_version += 1
+            # Only arcs captured by the new shard's points change owner —
+            # exactly the keys now routing somewhere other than their old
+            # primary.  Their entries move through one spill bundle.
+            moving = [
+                (key, donor)
+                for key, donor in owned.items()
+                if self.ring.route(key) != donor.shard_id
+            ]
+            entries = [donor.server.cache.pop(key) for key, donor in moving]
+            migrated = self._transfer([e for e in entries if e], shard)
+        self.metrics.shards_added += 1
+        self.metrics.plans_migrated += migrated
+        change = MembershipChange(
+            kind="add",
+            shard_id=shard.shard_id,
+            cached_keys=len(owned),
+            keys_moved=len(moving),
+            plans_migrated=migrated,
+            requeued=0,
+        )
+        self.metrics.last_remigration_fraction = change.fraction
+        return change
+
+    def remove_shard(self, shard_id: str) -> MembershipChange:
+        """Gracefully retire a shard: repair the ring, re-route its queue,
+        and migrate its primary-owned cached plans to their new owners
+        (replica copies it held are duplicates and die with it)."""
+        shard = self._departing(shard_id)
+        with get_tracer().span("migrate", kind="remove", shard=shard_id):
+            owned = self._primary_owned()
+            departing = [
+                e
+                for e in shard.server.cache.entries()
+                if owned.get(e.key) is shard
+            ]
+            self.ring.remove_shard(shard_id)
+            self._ring_version += 1
+            shard.alive = False
+            requeued = self._requeue(shard)
+            migrated = 0
+            by_dest: dict[str, list[CacheEntry]] = {}
+            for e in departing:
+                by_dest.setdefault(self.ring.route(e.key), []).append(e)
+            for dest, batch in sorted(by_dest.items()):
+                migrated += self._transfer(batch, self._shards[dest])
+            shard.server.cache.clear()
+        self.metrics.shards_removed += 1
+        self.metrics.plans_migrated += migrated
+        change = MembershipChange(
+            kind="remove",
+            shard_id=shard_id,
+            cached_keys=len(owned),
+            keys_moved=len(departing),
+            plans_migrated=migrated,
+            requeued=requeued,
+        )
+        self.metrics.last_remigration_fraction = change.fraction
+        return change
+
+    def kill_shard(self, shard_id: str) -> MembershipChange:
+        """Chaos: the shard dies *now*.  The ring is repaired and its
+        queued requests re-routed, but its cached plans are lost — the
+        survivors recompose on miss (no warm start)."""
+        shard = self._departing(shard_id)
+        with get_tracer().span("migrate", kind="kill", shard=shard_id):
+            owned = self._primary_owned()
+            lost = sum(1 for donor in owned.values() if donor is shard)
+            self.ring.remove_shard(shard_id)
+            self._ring_version += 1
+            shard.alive = False
+            requeued = self._requeue(shard)
+            shard.server.cache.clear()
+        self.metrics.shards_killed += 1
+        change = MembershipChange(
+            kind="kill",
+            shard_id=shard_id,
+            cached_keys=len(owned),
+            keys_moved=lost,
+            plans_migrated=0,
+            requeued=requeued,
+        )
+        self.metrics.last_remigration_fraction = change.fraction
+        return change
+
+    def _departing(self, shard_id: str) -> _Shard:
+        shard = self._shards.get(shard_id)
+        if shard is None or not shard.alive:
+            raise KeyError(f"no live shard {shard_id!r}")
+        if len(self.ring) <= 1:
+            raise ValueError("cannot remove the last live shard")
+        return shard
+
+    def _requeue(self, departed: _Shard) -> int:
+        """Re-route a departed shard's queued requests (no request loss)."""
+        items, departed.pending = departed.pending, []
+        for item in items:
+            target = self._route(item.key, observe=False)
+            target.pending.append(item)
+            target.routed += 1
+            self.metrics.routed += 1
+        return len(items)
+
+    # -- replay --------------------------------------------------------
+    #: Requests submitted between drains during :meth:`replay`.  Small
+    #: enough that hot-key replication reacts within a trace (a replica
+    #: can only receive a plan the primary has already composed), large
+    #: enough that per-shard schedulers still coalesce micro-batches.
+    REPLAY_CHUNK = 8
+
+    def replay(
+        self,
+        requests: list[SpMMRequest],
+        *,
+        kill_shard_at_ms: float | None = None,
+        kill_shard: str | None = None,
+    ) -> ClusterMetrics:
+        """Serve a whole trace in order, optionally killing a shard
+        mid-stream (``kill_shard_at_ms`` on the trace's virtual timeline;
+        untimed traces use the request index as milliseconds).  Requests
+        submitted before the kill are drained first, so they exercise the
+        pre-kill topology; everything after re-routes around the corpse.
+        The victim defaults to the busiest shard — worst-case chaos."""
+        timed = any(r.arrival_ms > 0 for r in requests)
+        killed = False
+        with get_tracer().span("cluster_replay", requests=len(requests)):
+            for index, request in enumerate(requests):
+                now = request.arrival_ms if timed else float(index)
+                if (
+                    kill_shard_at_ms is not None
+                    and not killed
+                    and now >= kill_shard_at_ms
+                    and len(self.ring) > 1
+                ):
+                    self.drain()
+                    victim = kill_shard or max(
+                        self._live(), key=lambda s: (s.routed, s.shard_id)
+                    ).shard_id
+                    self.kill_shard(victim)
+                    killed = True
+                self.submit(request)
+                if (index + 1) % self.REPLAY_CHUNK == 0:
+                    self.drain()
+            self.drain()
+        return self.metrics
+
+    # -- fleet accounting ----------------------------------------------
+    @property
+    def makespan_ms(self) -> float:
+        """Longest per-shard simulated busy time — the fleet's critical
+        path under saturation (dead shards' past work still counts)."""
+        return max((s.busy_ms for s in self._shards.values()), default=0.0)
+
+    @property
+    def aggregate_throughput_rps(self) -> float:
+        """Served requests per simulated second of the busiest shard."""
+        served = self.metrics.completed - self.metrics.failed
+        makespan = self.makespan_ms
+        if not served or makespan <= 0:
+            return 0.0
+        return served / (makespan / 1e3)
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """Fraction of linear scaling achieved: total simulated work over
+        (live shards x critical path).  1.0 = perfectly balanced fleet."""
+        shards = [s for s in self._shards.values() if s.busy_ms > 0 or s.alive]
+        makespan = self.makespan_ms
+        if not shards or makespan <= 0:
+            return 1.0
+        total = sum(s.busy_ms for s in shards)
+        return total / (len(shards) * makespan)
+
+    def snapshot(self) -> dict:
+        """Cluster scoreboard plus a per-shard breakdown (JSON-friendly)."""
+        out = {
+            "cluster": {
+                **self.metrics.snapshot(),
+                "shards_live": len(self.ring),
+                "routing_skew": self.routing_skew,
+                "makespan_ms": self.makespan_ms,
+                "throughput_rps": self.aggregate_throughput_rps,
+                "scaling_efficiency": self.scaling_efficiency,
+            },
+            "shards": [],
+        }
+        for shard_id in sorted(self._shards):
+            s = self._shards[shard_id]
+            m = s.server.metrics
+            out["shards"].append(
+                {
+                    "shard_id": shard_id,
+                    "alive": s.alive,
+                    "devices": s.num_devices,
+                    "routed": s.routed,
+                    "completed": s.completed,
+                    "busy_ms": s.busy_ms,
+                    "qps": (
+                        s.completed / (s.busy_ms / 1e3) if s.busy_ms > 0 else 0.0
+                    ),
+                    "requests": m.requests,
+                    "hit_rate": m.hit_rate,
+                    "availability": m.availability,
+                    "cache": s.server.cache.stats(),
+                }
+            )
+        return out
+
+    def report(self) -> str:
+        """Plain-text fleet report for terminal output."""
+        m = self.metrics
+        lines = [
+            f"shards              {len(self.ring)} live "
+            f"(+{m.shards_added} added, -{m.shards_removed} removed, "
+            f"x{m.shards_killed} killed)",
+            f"routed              {m.routed} "
+            f"({m.replica_routes} via replicas, {m.rerouted} rerouted)",
+            f"completed/failed    {m.completed}/{m.failed} "
+            f"(availability {m.availability:.2%})",
+            f"hot keys            {m.hot_keys} "
+            f"({m.plans_replicated} plans replicated)",
+            f"migrated plans      {m.plans_migrated} "
+            f"(last remigration {m.last_remigration_fraction:.1%})",
+            f"routing skew        {self.routing_skew:.2f}x",
+            f"fleet makespan      {self.makespan_ms:.3f} simulated ms "
+            f"({self.aggregate_throughput_rps:.1f} req/s, "
+            f"{self.scaling_efficiency:.0%} of linear)",
+        ]
+        for shard_id in sorted(self._shards):
+            s = self._shards[shard_id]
+            state = "" if s.alive else " [DEAD]"
+            lines.append(
+                f"{shard_id:20s}{s.routed} routed, {s.completed} served, "
+                f"{s.server.metrics.hit_rate:.0%} hits, "
+                f"{s.busy_ms:.3f} ms busy{state}"
+            )
+        return "\n".join(lines)

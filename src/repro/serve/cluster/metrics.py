@@ -1,0 +1,106 @@
+"""Cluster-level scoreboard: routing, replication, and membership.
+
+Complements the per-shard :class:`~repro.serve.metrics.ServerMetrics`
+(each shard's server keeps counting requests/hits/failures underneath):
+this scoreboard tracks what the *fleet* layer did — where the router
+sent traffic, how often hot-key replicas absorbed it, how many plans
+crossed shards during membership changes, and whether any request was
+lost at cluster level.  Every counter is published onto
+:attr:`registry`; the frontend additionally binds live gauges (shard
+count, routing skew, aggregate throughput) whose values depend on its
+own state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs import MetricsRegistry
+
+
+@dataclass
+class ClusterMetrics:
+    """Scoreboard updated by :class:`repro.serve.cluster.ClusterFrontend`."""
+
+    #: Routing decisions made (original submits + reroutes after failure).
+    routed: int = 0
+    #: Routes resolved by power-of-two-choices among a hot key's replicas.
+    replica_routes: int = 0
+    #: Requests re-routed to another shard after their shard failed them.
+    rerouted: int = 0
+    #: Requests with a final response (served or failed, after reroutes).
+    completed: int = 0
+    #: Requests that failed on every shard the router was willing to try.
+    failed: int = 0
+    #: Distinct fingerprints that ever crossed the hot threshold.
+    hot_keys: int = 0
+    #: Cached plans copied to replica shards (hot-key replication).
+    plans_replicated: int = 0
+    #: Cached plans moved between shards by membership changes.
+    plans_migrated: int = 0
+    shards_added: int = 0
+    shards_removed: int = 0
+    shards_killed: int = 0
+    #: Cached-key remigration fraction of the latest membership change.
+    last_remigration_fraction: float = 0.0
+    #: Registry this scoreboard publishes onto.
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def __post_init__(self) -> None:
+        r = self.registry
+        for name, help_text, attr in (
+            ("cluster_routed_total", "Routing decisions made", "routed"),
+            ("cluster_replica_routes_total",
+             "Routes resolved among hot-key replicas", "replica_routes"),
+            ("cluster_rerouted_total",
+             "Requests re-routed after a shard-level failure", "rerouted"),
+            ("cluster_completed_total",
+             "Requests with a final cluster-level response", "completed"),
+            ("cluster_failed_total",
+             "Requests failed on every shard tried", "failed"),
+            ("cluster_hot_keys_total",
+             "Distinct fingerprints that crossed the hot threshold",
+             "hot_keys"),
+            ("cluster_plans_replicated_total",
+             "Cached plans copied to replica shards", "plans_replicated"),
+            ("cluster_plans_migrated_total",
+             "Cached plans moved by membership changes", "plans_migrated"),
+            ("cluster_shards_added_total", "Shards added", "shards_added"),
+            ("cluster_shards_removed_total",
+             "Shards removed gracefully", "shards_removed"),
+            ("cluster_shards_killed_total",
+             "Shards killed by chaos", "shards_killed"),
+        ):
+            r.counter(name, help_text,
+                      callback=lambda self=self, a=attr: getattr(self, a))
+        r.gauge("cluster_availability",
+                "Fraction of completed requests served",
+                callback=lambda self=self: self.availability)
+        r.gauge("cluster_remigration_fraction",
+                "Cached-key remigration fraction of the last membership change",
+                callback=lambda self=self: self.last_remigration_fraction)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of completed requests served (1.0 with no traffic)."""
+        if not self.completed:
+            return 1.0
+        return 1.0 - self.failed / self.completed
+
+    def snapshot(self) -> dict:
+        """Flat, JSON-friendly view of the cluster scoreboard."""
+        return {
+            "routed": self.routed,
+            "replica_routes": self.replica_routes,
+            "rerouted": self.rerouted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "availability": self.availability,
+            "hot_keys": self.hot_keys,
+            "plans_replicated": self.plans_replicated,
+            "plans_migrated": self.plans_migrated,
+            "shards_added": self.shards_added,
+            "shards_removed": self.shards_removed,
+            "shards_killed": self.shards_killed,
+            "last_remigration_fraction": self.last_remigration_fraction,
+        }

@@ -65,6 +65,27 @@ class PlanCache:
         """Keys in LRU order (least recently used first)."""
         return list(self._entries)
 
+    def entries(self) -> list[CacheEntry]:
+        """Resident entries in LRU order (migration/inspection view)."""
+        return list(self._entries.values())
+
+    def peek(self, key: str) -> CacheEntry | None:
+        """Look up without touching traffic counters or LRU recency.
+
+        The cluster's replication/migration machinery uses this: moving a
+        plan between shards is fleet plumbing, not a request, and must not
+        perturb the hit-rate accounting or the eviction order.
+        """
+        return self._entries.get(key)
+
+    def pop(self, key: str) -> CacheEntry | None:
+        """Remove and return an entry (None if absent) without counting an
+        eviction — the entry is being migrated, not discarded."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self.total_bytes -= entry.size_bytes
+        return entry
+
     # ------------------------------------------------------------------
     def get(self, key: str) -> CacheEntry | None:
         """Look up a plan; a hit refreshes its LRU position."""

@@ -106,6 +106,11 @@ class TestModuleInventory:
         "repro.serve.server",
         "repro.serve.scheduler",
         "repro.serve.workload",
+        "repro.serve.cluster",
+        "repro.serve.cluster.ring",
+        "repro.serve.cluster.hotkeys",
+        "repro.serve.cluster.metrics",
+        "repro.serve.cluster.frontend",
         "repro.kernels.registry",
         "repro.bench.harness",
         "repro.bench.reporting",

@@ -1,0 +1,294 @@
+"""`ClusterFrontend` behavior: routing, replication, chaos, elasticity.
+
+The ring's hashing invariants live in ``test_serve_cluster_ring.py``;
+these tests drive the full fleet — real servers, real plan caches — and
+pin the serving contract: results bit-identical to a single node, no
+request lost to membership changes or shard failures, and cached plans
+following their keys across the fleet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LiteForm, generate_training_data
+from repro.gpu import FaultPolicy, FaultyDevice
+from repro.matrices import SuiteSparseLikeCollection, power_law_graph
+from repro.serve import (
+    ClusterFrontend,
+    RetryPolicy,
+    SpMMRequest,
+    SpMMServer,
+    WindowedFrequencySketch,
+)
+
+
+@pytest.fixture(scope="module")
+def liteform():
+    coll = SuiteSparseLikeCollection(size=6, max_rows=2500, seed=11)
+    return LiteForm().fit(generate_training_data(coll, J_values=(32,)))
+
+
+def _matrices(n: int, rows: int = 300):
+    return [power_law_graph(rows, 6, seed=100 + i) for i in range(n)]
+
+
+def _requests(mats, count: int, J: int = 32, with_B: bool = False, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(count):
+        A = mats[i % len(mats)]
+        B = None
+        if with_B:
+            B = rng.standard_normal((A.shape[1], J)).astype(np.float32)
+        out.append(SpMMRequest(matrix=A, B=B, J=J, name=f"m{i % len(mats)}"))
+    return out
+
+
+class TestBitIdentity:
+    def test_matches_single_node_numeric(self, liteform):
+        mats = _matrices(5)
+        reqs = _requests(mats, 15, with_B=True, seed=3)
+        single = SpMMServer(liteform=liteform)
+        cluster = ClusterFrontend(liteform, num_shards=4)
+        for r in reqs:
+            a = single.serve(SpMMRequest(matrix=r.matrix, B=r.B, J=r.J))
+            b = cluster.serve(r)
+            assert b.ok
+            assert np.array_equal(a.C, b.C)
+
+    def test_replicated_serving_stays_identical(self, liteform):
+        mats = _matrices(2)
+        reqs = _requests(mats, 20, with_B=True, seed=4)
+        single = SpMMServer(liteform=liteform)
+        cluster = ClusterFrontend(
+            liteform, num_shards=4, replication=3, hot_fraction=0.2,
+            hot_min_count=2,
+        )
+        for r in reqs:
+            a = single.serve(SpMMRequest(matrix=r.matrix, B=r.B, J=r.J))
+            b = cluster.serve(r)
+            assert np.array_equal(a.C, b.C)
+
+
+class TestRouting:
+    def test_fingerprint_affinity(self, liteform):
+        """Without replication every repeat of a matrix lands on the same
+        shard, so the fleet composes each fingerprint exactly once."""
+        mats = _matrices(6)
+        fe = ClusterFrontend(liteform, num_shards=4)
+        fe.replay(_requests(mats, 36))
+        total_misses = sum(
+            s["cache"]["misses"] for s in fe.snapshot()["shards"]
+        )
+        assert total_misses == len(mats)
+
+    def test_submit_poll_contract(self, liteform):
+        fe = ClusterFrontend(liteform, num_shards=2)
+        t = fe.submit(_requests(_matrices(1), 1)[0])
+        first = fe.poll(t)
+        assert first is not None and first.ok
+        assert fe.poll(t) is None
+
+    def test_drain_preserves_submission_order(self, liteform):
+        mats = _matrices(4)
+        fe = ClusterFrontend(liteform, num_shards=3)
+        reqs = _requests(mats, 12)
+        tickets = [fe.submit(r) for r in reqs]
+        responses = fe.drain()
+        assert len(responses) == len(reqs)
+        assert tickets == sorted(tickets)
+
+    def test_invalid_config(self, liteform):
+        with pytest.raises(ValueError):
+            ClusterFrontend(liteform, num_shards=0)
+        with pytest.raises(ValueError):
+            ClusterFrontend(liteform, num_shards=2, replication=0)
+        with pytest.raises(ValueError):
+            ClusterFrontend(liteform, num_shards=2, hot_fraction=0.0)
+
+
+class TestHotKeyReplication:
+    def test_dominant_key_gets_replicated(self, liteform):
+        mats = _matrices(4)
+        # 70% of traffic on matrix 0 — a Zipf head.
+        pattern = [0, 0, 0, 0, 0, 0, 0, 1, 2, 3]
+        reqs = [
+            SpMMRequest(matrix=mats[pattern[i % 10]], B=None, J=32)
+            for i in range(50)
+        ]
+        fe = ClusterFrontend(
+            liteform, num_shards=4, replication=2, hot_fraction=0.3,
+            hot_min_count=3,
+        )
+        m = fe.replay(reqs)
+        assert m.hot_keys == 1
+        assert m.plans_replicated >= 1
+        assert m.replica_routes > 0
+        assert m.failed == 0
+
+    def test_cold_uniform_traffic_never_replicates(self, liteform):
+        mats = _matrices(8)
+        fe = ClusterFrontend(
+            liteform, num_shards=4, replication=2, hot_fraction=0.3
+        )
+        m = fe.replay(_requests(mats, 48))
+        assert m.hot_keys == 0
+        assert m.plans_replicated == 0
+
+
+class TestChaos:
+    def test_kill_shard_loses_no_requests(self, liteform):
+        mats = _matrices(6)
+        reqs = _requests(mats, 60)
+        fe = ClusterFrontend(liteform, num_shards=4)
+        m = fe.replay(reqs, kill_shard_at_ms=30)
+        assert m.shards_killed == 1
+        assert m.completed == len(reqs)
+        assert m.failed == 0
+        assert m.availability == 1.0
+        assert len(fe.shards) == 3
+
+    def test_dead_device_pool_reroutes(self, liteform):
+        """A shard whose every launch dies fails its requests; the
+        frontend must re-route them to surviving shards, not surface the
+        failure."""
+        def factory(shard_index, device_index):
+            if shard_index == 0:
+                return FaultyDevice(faults=FaultPolicy(death_rate=1.0, seed=9))
+            return FaultyDevice(faults=FaultPolicy(seed=90 + shard_index))
+
+        fe = ClusterFrontend(
+            liteform,
+            num_shards=3,
+            device_factory=factory,
+            retry=RetryPolicy(max_attempts=1),
+        )
+        m = fe.replay(_requests(_matrices(6), 30))
+        assert m.failed == 0
+        assert m.availability == 1.0
+        # shard-0 owns ~1/3 of fingerprints, so reroutes must have happened
+        assert m.rerouted > 0
+
+    def test_kill_last_shard_refused(self, liteform):
+        fe = ClusterFrontend(liteform, num_shards=1)
+        with pytest.raises(ValueError):
+            fe.kill_shard("shard-0")
+
+    def test_kill_unknown_shard(self, liteform):
+        fe = ClusterFrontend(liteform, num_shards=2)
+        with pytest.raises(KeyError):
+            fe.kill_shard("shard-99")
+        fe.kill_shard("shard-1")
+        with pytest.raises(KeyError):  # already dead
+            fe.kill_shard("shard-1")
+
+
+class TestElasticMembership:
+    def test_add_shard_warm_starts_moved_keys(self, liteform):
+        mats = _matrices(8)
+        fe = ClusterFrontend(liteform, num_shards=3)
+        fe.replay(_requests(mats, 24))
+        change = fe.add_shard()
+        assert change.kind == "add"
+        assert change.cached_keys == len(mats)
+        assert 0.0 <= change.fraction < 1.0
+        assert change.plans_migrated == change.keys_moved
+        # Migrated plans must serve as cache hits on their new shard:
+        # replaying the same traffic composes nothing new anywhere.
+        before = sum(s["cache"]["misses"] for s in fe.snapshot()["shards"])
+        fe.replay(_requests(mats, 24))
+        after = sum(s["cache"]["misses"] for s in fe.snapshot()["shards"])
+        assert after == before
+
+    def test_remove_shard_migrates_and_serves(self, liteform):
+        mats = _matrices(8)
+        fe = ClusterFrontend(liteform, num_shards=4)
+        fe.replay(_requests(mats, 24))
+        victim = fe.shards[0]
+        change = fe.remove_shard(victim)
+        assert change.kind == "remove"
+        assert victim not in fe.shards
+        before = sum(s["cache"]["misses"] for s in fe.snapshot()["shards"])
+        m = fe.replay(_requests(mats, 24))
+        after = sum(s["cache"]["misses"] for s in fe.snapshot()["shards"])
+        assert after == before  # every migrated plan hit on its new owner
+        assert m.failed == 0
+
+    def test_kill_loses_cache_but_recovers(self, liteform):
+        mats = _matrices(8)
+        fe = ClusterFrontend(liteform, num_shards=4)
+        fe.replay(_requests(mats, 24))
+        change = fe.kill_shard(fe.shards[0])
+        assert change.plans_migrated == 0
+        before = sum(s["cache"]["misses"] for s in fe.snapshot()["shards"])
+        m = fe.replay(_requests(mats, 24))
+        after = sum(s["cache"]["misses"] for s in fe.snapshot()["shards"])
+        # the killed shard's plans are gone: exactly those recompose
+        assert after - before == change.keys_moved
+        assert m.failed == 0
+
+    def test_membership_change_requeues_pending(self, liteform):
+        mats = _matrices(6)
+        fe = ClusterFrontend(liteform, num_shards=3)
+        for r in _requests(mats, 18):
+            fe.submit(r)
+        victim = fe.shards[0]
+        change = fe.kill_shard(victim)
+        assert change.requeued > 0
+        responses = fe.drain()
+        assert len(responses) == 18
+        assert all(not r.failed for r in responses)
+
+
+class TestBatchedMode:
+    def test_scheduler_per_shard(self, liteform):
+        mats = _matrices(3)
+        fe = ClusterFrontend(liteform, num_shards=2, batch=4)
+        reqs = _requests(mats, 18)
+        for r in reqs:
+            fe.submit(r)
+        responses = fe.drain()
+        assert len(responses) == 18
+        assert all(not r.failed for r in responses)
+        # repeats of one fingerprint coalesce into fused launches
+        assert any(r.batch_size > 1 for r in responses)
+
+
+class TestObservability:
+    def test_snapshot_shape(self, liteform):
+        fe = ClusterFrontend(liteform, num_shards=2)
+        fe.replay(_requests(_matrices(3), 9))
+        snap = fe.snapshot()
+        assert snap["cluster"]["completed"] == 9
+        assert snap["cluster"]["shards_live"] == 2
+        assert {s["shard_id"] for s in snap["shards"]} == {"shard-0", "shard-1"}
+        for s in snap["shards"]:
+            assert set(s) >= {"alive", "routed", "completed", "busy_ms", "cache"}
+
+    def test_registry_publishes_cluster_series(self, liteform):
+        fe = ClusterFrontend(liteform, num_shards=2)
+        fe.replay(_requests(_matrices(3), 9))
+        snap = fe.metrics.registry.snapshot()
+        assert snap["cluster_routed_total"] == 9
+        assert snap["cluster_availability"] == 1.0
+        assert snap["cluster_shards_live"] == 2
+
+    def test_report_renders(self, liteform):
+        fe = ClusterFrontend(liteform, num_shards=2)
+        fe.replay(_requests(_matrices(3), 9))
+        text = fe.report()
+        assert "shards" in text and "shard-0" in text
+
+
+class TestSketchIntegration:
+    def test_window_decay(self):
+        sk = WindowedFrequencySketch(window=8)
+        for _ in range(8):
+            sk.observe("a")
+        assert sk.frequency("a") == 1.0
+        for _ in range(8):
+            sk.observe("b")
+        assert sk.count("a") == 0
+        assert sk.hot_keys(0.5) == ["b"]

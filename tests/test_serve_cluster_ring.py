@@ -1,0 +1,174 @@
+"""Invariants of the consistent-hash :class:`ShardRing`.
+
+The cluster's cache-locality and remigration guarantees all reduce to
+ring properties, so they are pinned here without any serving machinery:
+deterministic membership-only routing, balanced key spread, bounded
+remigration on add/remove, and replica-set sanity.  A hypothesis sweep
+drives arbitrary add/remove sequences and checks every fingerprint
+always routes to a live shard.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.cluster import ShardRing, remigration_fraction
+
+SHARDS8 = [f"s{i}" for i in range(8)]
+
+
+def keys(n: int) -> list[str]:
+    # Stand-ins for plan keys; the ring only sees opaque strings.
+    return [f"sha:fingerprint-{i:05d}/J64" for i in range(n)]
+
+
+class TestDeterminism:
+    def test_routing_is_membership_only(self):
+        a = ShardRing(SHARDS8)
+        b = ShardRing(reversed(SHARDS8))
+        ks = keys(512)
+        assert a.assignment(ks) == b.assignment(ks)
+
+    def test_route_is_stable(self):
+        ring = ShardRing(SHARDS8)
+        ks = keys(64)
+        assert ring.assignment(ks) == ring.assignment(ks)
+
+    def test_add_then_remove_restores_assignment(self):
+        ring = ShardRing(SHARDS8)
+        ks = keys(2048)
+        before = ring.assignment(ks)
+        ring.add_shard("s8")
+        ring.remove_shard("s8")
+        assert ring.assignment(ks) == before
+
+
+class TestBalance:
+    def test_spread_within_virtual_node_bound(self):
+        ring = ShardRing(SHARDS8, virtual_nodes=64)
+        counts = ring.spread(keys(20_000))
+        assert set(counts) == set(SHARDS8)
+        mean = sum(counts.values()) / len(counts)
+        # Arc-length variance at 64 vnodes keeps every shard within ~2x
+        # of its fair share; a sanity bound, not a statistical proof.
+        assert max(counts.values()) < 2.0 * mean
+        assert min(counts.values()) > 0.3 * mean
+
+    def test_more_vnodes_balance_better(self):
+        ks = keys(20_000)
+
+        def skew(vnodes: int) -> float:
+            counts = ShardRing(SHARDS8, virtual_nodes=vnodes).spread(ks)
+            return max(counts.values()) / (sum(counts.values()) / len(counts))
+
+        assert skew(128) < skew(4)
+
+
+class TestRemigration:
+    N = 8
+    PROBES = 4096
+
+    def test_add_moves_about_one_over_n(self):
+        ring = ShardRing(SHARDS8)
+        ks = keys(self.PROBES)
+        before = ring.assignment(ks)
+        ring.add_shard("s8")
+        frac = remigration_fraction(before, ring.assignment(ks))
+        assert 0.0 < frac <= 1.5 / (self.N + 1)
+
+    def test_remove_moves_about_one_over_n(self):
+        ring = ShardRing(SHARDS8)
+        ks = keys(self.PROBES)
+        before = ring.assignment(ks)
+        ring.remove_shard("s3")
+        frac = remigration_fraction(before, ring.assignment(ks))
+        assert 0.0 < frac <= 1.5 / self.N
+
+    def test_only_departed_shards_keys_move(self):
+        ring = ShardRing(SHARDS8)
+        ks = keys(self.PROBES)
+        before = ring.assignment(ks)
+        ring.remove_shard("s3")
+        after = ring.assignment(ks)
+        for key in ks:
+            if before[key] != "s3":
+                assert after[key] == before[key]
+
+    def test_add_only_captures_keys(self):
+        ring = ShardRing(SHARDS8)
+        ks = keys(self.PROBES)
+        before = ring.assignment(ks)
+        ring.add_shard("s8")
+        after = ring.assignment(ks)
+        for key in ks:
+            if after[key] != before[key]:
+                assert after[key] == "s8"
+
+
+class TestReplicas:
+    def test_distinct_and_live(self):
+        ring = ShardRing(SHARDS8)
+        for key in keys(128):
+            reps = ring.route_replicas(key, 3)
+            assert len(reps) == 3
+            assert len(set(reps)) == 3
+            assert all(r in ring for r in reps)
+
+    def test_primary_first(self):
+        ring = ShardRing(SHARDS8)
+        for key in keys(64):
+            assert ring.route_replicas(key, 3)[0] == ring.route(key)
+
+    def test_capped_at_membership(self):
+        ring = ShardRing(["a", "b"])
+        assert sorted(ring.route_replicas("k", 5)) == ["a", "b"]
+
+    def test_invalid(self):
+        ring = ShardRing(["a"])
+        with pytest.raises(ValueError):
+            ring.route_replicas("k", 0)
+
+
+class TestMembershipErrors:
+    def test_duplicate_add(self):
+        ring = ShardRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add_shard("a")
+
+    def test_remove_unknown(self):
+        ring = ShardRing(["a"])
+        with pytest.raises(KeyError):
+            ring.remove_shard("b")
+
+    def test_empty_ring_routes_nothing(self):
+        with pytest.raises(RuntimeError):
+            ShardRing().route("k")
+
+    def test_empty_shard_id(self):
+        with pytest.raises(ValueError):
+            ShardRing().add_shard("")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["add", "remove"]), st.integers(0, 11)),
+        max_size=24,
+    ),
+    probe=st.integers(0, 10_000),
+)
+def test_every_key_routes_to_a_live_shard(ops, probe):
+    """Arbitrary membership churn never strands a fingerprint."""
+    ring = ShardRing(["seed-shard"])
+    for op, i in ops:
+        name = f"shard-{i}"
+        if op == "add" and name not in ring:
+            ring.add_shard(name)
+        elif op == "remove" and name in ring and len(ring) > 1:
+            ring.remove_shard(name)
+    owner = ring.route(f"probe-key-{probe}")
+    assert owner in ring.shards
+    replicas = ring.route_replicas(f"probe-key-{probe}", 3)
+    assert replicas[0] == owner
+    assert len(replicas) == min(3, len(ring))
