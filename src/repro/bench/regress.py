@@ -322,6 +322,69 @@ def _bench_cluster(repeats: int) -> Iterator[Metric]:
     )
 
 
+def _bench_obs(repeats: int) -> Iterator[Metric]:
+    """Observability overhead: the same sharded replay with tracing, SLO
+    burn-rate evaluation, and attribution fully on vs. fully off.  The
+    ratio gate enforces the "telemetry is nearly free" contract (traced
+    throughput within a few percent of untraced); the span count per
+    request is deterministic and pins the instrumentation density."""
+    from repro.obs import SLOEngine, Tracer, set_tracer
+    from repro.serve import ClusterFrontend
+
+    coll = SuiteSparseLikeCollection(size=6, max_rows=2000, seed=11)
+    liteform = LiteForm().fit(generate_training_data(coll, J_values=(32,)))
+    spec = WorkloadSpec(
+        num_requests=48,
+        num_matrices=8,
+        J_choices=(32,),
+        max_rows=2000,
+        with_operands=False,
+        seed=5,
+    )
+    requests = generate_workload(spec)
+
+    last_frontend = None
+
+    def replay(observed: bool):
+        nonlocal last_frontend
+        frontend = ClusterFrontend(
+            liteform, num_shards=2, seed=9, slo=observed or None
+        )
+        if observed:
+            tracer = Tracer()
+            previous = set_tracer(tracer)
+            try:
+                frontend.replay(requests)
+            finally:
+                set_tracer(previous)
+            last_frontend = frontend
+        else:
+            frontend.replay(requests)
+        return frontend
+
+    replay(True)  # warm caches/JIT paths so both timings start equal
+    replay(False)
+    wall_plain = _median_wall_ms(lambda: replay(False), repeats)
+    wall_observed = _median_wall_ms(lambda: replay(True), repeats)
+    yield Metric("obs.untraced.wall_ms", wall_plain, "wall", "ms")
+    yield Metric("obs.observed.wall_ms", wall_observed, "wall", "ms")
+    # Full-telemetry overhead is below the wall-clock noise floor of a
+    # shared runner (see benchmarks/test_ext_obs.py for the tight
+    # per-span bound), so the gate band matches observed replay jitter.
+    yield Metric(
+        "obs.throughput_ratio",
+        wall_plain / max(wall_observed, 1e-9),
+        "ratio",
+        "x",
+        tol=0.25,
+    )
+    assert last_frontend is not None
+    spans = sum(len(lane.spans) for lane in last_frontend.lanes().values())
+    yield Metric(
+        "obs.spans_per_request", float(spans) / len(requests), "exact"
+    )
+
+
 def run_suite(repeats: int = 3, include_serve: bool = True) -> dict:
     """Run the pinned benchmark suite and return a snapshot dict."""
     if repeats < 1:
@@ -334,6 +397,7 @@ def run_suite(repeats: int = 3, include_serve: bool = True) -> dict:
     if include_serve:
         metrics.extend(_bench_serve(repeats))
         metrics.extend(_bench_cluster(repeats))
+        metrics.extend(_bench_obs(repeats))
     return {
         "schema": SCHEMA_VERSION,
         "rev": git_rev(),

@@ -33,12 +33,19 @@ Commands
     input matrix (``--profile`` adds per-kernel roofline profiles).
 ``stats``
     Replay a short workload against the process-wide metrics registry and
-    dump it (Prometheus text exposition, or JSON with ``--json``).
+    dump it (Prometheus text exposition, or JSON with ``--json``);
+    ``--attribution`` appends the p50/p95/p99 tail-latency stage
+    breakdown with trace exemplars.
 
 ``compose``, ``compare``, and ``serve`` accept ``--trace out.json`` to
 record nested spans of the run and export them as Chrome trace-event
 JSON (open in chrome://tracing or https://ui.perfetto.dev); a flame
-summary is printed to stderr.  See docs/OBSERVABILITY.md.
+summary is printed to stderr.  In cluster mode (``serve --shards``) the
+export is the *merged* multi-lane trace — one Perfetto process lane for
+the frontend plus one per shard, stitched by trace id — and ``--slo``
+adds Google-SRE multi-window burn-rate alerting (``--slo-latency-ms``,
+``--slo-window-ms``, JSON artifact via ``--slo-report``).  See
+docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -71,7 +78,15 @@ from repro.matrices import (
     make_gnn_standin,
     read_matrix_market,
 )
-from repro.obs import Tracer, get_registry, get_tracer, set_tracer
+from repro.obs import (
+    SLOEngine,
+    Tracer,
+    default_policies,
+    default_slos,
+    get_registry,
+    get_tracer,
+    set_tracer,
+)
 
 
 def _load_matrix(spec: str):
@@ -202,6 +217,8 @@ def cmd_train(args) -> int:
 def cmd_serve(args) -> int:
     from repro.serve import PlanCache, RetryPolicy, SpMMServer, WorkloadSpec, generate_workload
 
+    if (args.slo or args.slo_report) and not args.shards:
+        raise SystemExit("--slo / --slo-report require --shards (cluster mode)")
     spec = WorkloadSpec(
         num_requests=args.requests,
         num_matrices=args.matrices,
@@ -247,6 +264,17 @@ def cmd_serve(args) -> int:
         from repro.gpu.multi import MultiGPUSpec
         from repro.serve import ClusterFrontend
 
+        slo = None
+        if args.slo:
+            slo = SLOEngine(
+                specs=default_slos(latency_threshold_ms=args.slo_latency_ms),
+                policies=default_policies(args.slo_window_ms),
+            )
+            print(
+                f"SLO engine: latency threshold {args.slo_latency_ms:g} ms, "
+                f"burn-rate windows scaled to {args.slo_window_ms:g} ms",
+                file=sys.stderr,
+            )
         device_factory = None
         if args.faults or args.death_rate or args.spike_rate:
             from repro.gpu.faults import FaultPolicy, FaultyDevice
@@ -275,6 +303,7 @@ def cmd_serve(args) -> int:
             retry=RetryPolicy(max_attempts=args.retries),
             degrade_on_oom=not args.no_degrade,
             seed=args.seed,
+            slo=slo,
         )
         chaos = (
             f", killing a shard at {args.kill_shard:g} ms"
@@ -286,8 +315,34 @@ def cmd_serve(args) -> int:
             f"replication {args.replication}{chaos}",
             file=sys.stderr,
         )
-        with _maybe_trace(args):
+        # Cluster tracing bypasses _maybe_trace: the frontend owns the
+        # per-shard lanes, so the export must be the *merged* multi-lane
+        # trace, not the frontend lane alone.
+        trace_path = getattr(args, "trace", None)
+        if trace_path:
+            tracer = Tracer()
+            previous = set_tracer(tracer)
+            try:
+                frontend.replay(requests, kill_shard_at_ms=args.kill_shard)
+            finally:
+                set_tracer(previous)
+            out_path = frontend.write_trace(trace_path)
+            lanes = frontend.lanes()
+            print(
+                f"trace: {len(lanes)} lanes "
+                f"({', '.join(sorted(lanes))}) merged into {out_path}",
+                file=sys.stderr,
+            )
+        else:
             frontend.replay(requests, kill_shard_at_ms=args.kill_shard)
+        if args.slo_report:
+            if frontend.slo is None:
+                raise SystemExit("--slo-report requires --slo")
+            report_path = Path(args.slo_report)
+            report_path.write_text(
+                json.dumps(frontend.slo.snapshot(), indent=2) + "\n"
+            )
+            print(f"SLO report written to {report_path}", file=sys.stderr)
         if args.json:
             print(json.dumps(frontend.snapshot(), indent=2))
         else:
@@ -352,6 +407,7 @@ def cmd_stats(args) -> int:
             lf,
             num_shards=args.shards,
             metrics=ClusterMetrics(registry=registry),
+            slo=True,
         )
         print(
             f"replaying {spec.num_requests} measure-only requests over "
@@ -365,6 +421,7 @@ def cmd_stats(args) -> int:
             print(json.dumps(out, indent=2))
         else:
             print(registry.render_prometheus(), end="")
+            # frontend.report() already carries the attribution section.
             print(frontend.report())
         return 0
     server = SpMMServer(
@@ -378,6 +435,8 @@ def cmd_stats(args) -> int:
         print(json.dumps(registry.snapshot(), indent=2))
     else:
         print(registry.render_prometheus(), end="")
+        if args.attribution:
+            print(server.metrics.attribution.report())
     return 0
 
 
@@ -537,6 +596,19 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--max-queue", type=int, default=None, metavar="N",
                     help="bounded scheduler queue; overflow arrivals are "
                          "shed to the degraded path (default: unbounded)")
+    sp.add_argument("--slo", action="store_true",
+                    help="enable the SLO engine with multi-window burn-rate "
+                         "alerting (cluster mode)")
+    sp.add_argument("--slo-latency-ms", type=float, default=50.0,
+                    metavar="MS", help="p99 latency SLO threshold")
+    sp.add_argument("--slo-window-ms", type=float, default=1000.0,
+                    metavar="MS",
+                    help="virtual-time scale of the burn-rate windows (the "
+                         "Google-SRE hour-scale policies compressed to "
+                         "replay time)")
+    sp.add_argument("--slo-report", metavar="PATH",
+                    help="write the SLO engine's JSON snapshot (SLIs, budget "
+                         "burn, fired alerts) here after the replay")
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument("--models", help="saved LiteForm models (from `train`)")
     sp.add_argument("--train-size", type=int, default=12,
@@ -562,6 +634,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "per-shard stats (0 = single server)")
     sp.add_argument("--json", action="store_true",
                     help="JSON snapshot instead of Prometheus text exposition")
+    sp.add_argument("--attribution", action="store_true",
+                    help="append the tail-latency attribution table "
+                         "(p50/p95/p99 stage shares with trace exemplars)")
     sp.set_defaults(func=cmd_stats)
 
     sp = sub.add_parser("train", help="train and save LiteForm's predictors")

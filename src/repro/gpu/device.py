@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.gpu.stats import KernelStats, Measurement
 from repro.gpu.timing import TimingModel
-from repro.obs import get_tracer
+from repro.obs import get_registry, get_tracer
 
 #: Bytes per 32-bit word (indices and float32 values).
 WORD_BYTES = 4
@@ -177,6 +177,12 @@ class SimulatedDevice:
                     imbalance=round(p.imbalance, 3),
                     launch_fraction=round(p.launch_fraction, 4),
                 )
+                # Exemplar-bearing histogram: a slow launch's bucket
+                # points back at the trace that produced it.
+                get_registry().histogram(
+                    "gpu_kernel_sim_ms",
+                    "Simulated kernel time per traced launch (ms)",
+                ).observe(measurement.time_ms, exemplar=span.trace_id)
         return measurement
 
     def measure_many(self, stats_list: list[KernelStats]) -> Measurement:

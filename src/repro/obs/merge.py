@@ -1,0 +1,77 @@
+"""Stitch many tracers into one Chrome/Perfetto trace with process lanes.
+
+A sharded serving fleet records spans into *per-shard* tracers (each
+shard is logically its own process), so one request that is routed,
+queued, retried, and re-routed leaves fragments in several disjoint span
+trees.  :func:`merge_traces` reassembles them: every tracer becomes its
+own process lane (``pid`` plus a ``process_name`` metadata event) on a
+**shared time origin**, and every span carries its ``trace_id`` in
+``args``, so the full causal path of any request can be followed across
+lanes — in the Perfetto UI, click a span and search for its
+``trace_id``, or run a query like::
+
+    select * from args where string_value = 'req-000042'
+
+:func:`trace_ids_by_lane` is the programmatic version the chaos smoke
+test uses: which trace ids appear in which lane, e.g. to assert that a
+request re-routed after a shard death shows up in two shards' lanes
+under a single trace id.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.trace import NullTracer, Tracer, span_event
+
+
+def _finished(tracer: Tracer | NullTracer):
+    return [s for s in tracer.spans if s.end_s is not None]
+
+
+def merge_traces(lanes: dict[str, Tracer | NullTracer]) -> dict:
+    """Merge named tracers into one Chrome trace-event JSON object.
+
+    ``lanes`` maps a lane name (e.g. ``"frontend"``, ``"shard-0"``) to
+    its tracer.  Lane order is preserved: lane *i* becomes ``pid = i``
+    with ``process_name`` / ``process_sort_index`` metadata events so
+    viewers render one labelled track per component.  All spans share
+    the earliest start across every lane as the time origin, so
+    cross-lane timing (a request leaving the frontend and arriving on a
+    shard) reads directly off the timeline.
+    """
+    finished = {name: _finished(t) for name, t in lanes.items()}
+    origin = min(
+        (s.start_s for spans in finished.values() for s in spans),
+        default=0.0,
+    )
+    events: list[dict] = []
+    for pid, (name, spans) in enumerate(finished.items()):
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": name}}
+        )
+        events.append(
+            {"name": "process_sort_index", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"sort_index": pid}}
+        )
+        events.extend(span_event(s, pid=pid, origin_s=origin) for s in spans)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_merged(lanes: dict[str, Tracer | NullTracer], path: str | Path) -> Path:
+    """Serialize :func:`merge_traces` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(merge_traces(lanes), indent=1))
+    return path
+
+
+def trace_ids_by_lane(lanes: dict[str, Tracer | NullTracer]) -> dict[str, set[str]]:
+    """``{lane: {trace_id, ...}}`` for every tagged span — the cross-lane
+    linkage view (a trace id in two lanes means the request touched two
+    components)."""
+    return {
+        name: {s.trace_id for s in _finished(t) if s.trace_id is not None}
+        for name, t in lanes.items()
+    }

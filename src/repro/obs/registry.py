@@ -12,10 +12,21 @@ the per-event side).  Three instrument types, all thread-safe:
   winning bucket.  Memory is O(#buckets) regardless of traffic, unlike
   an append-only latency list.
 
+Instruments may carry **labels** (``registry.counter("slo_alerts_total",
+labels={"severity": "page"})``); each distinct label set is its own time
+series, keyed ``name{k="v",...}``.  Histograms additionally accept an
+**exemplar** per observation (``h.observe(42.0, exemplar=trace_id)``) —
+the last exemplar per bucket is kept, linking tail buckets to concrete
+traces the way OpenMetrics exemplars do.
+
 :class:`MetricsRegistry` name-spaces instruments and renders them as a
-Prometheus-style text exposition (:meth:`~MetricsRegistry.render_prometheus`)
-or a JSON snapshot (:meth:`~MetricsRegistry.snapshot`).  A process-wide
-default registry is available via :func:`get_registry`.
+Prometheus text exposition, format 0.0.4
+(:meth:`~MetricsRegistry.render_prometheus`: cumulative ``le`` buckets
+ending in ``+Inf``, ``_sum``/``_count`` series, escaped label values) or
+a JSON snapshot (:meth:`~MetricsRegistry.snapshot`).
+:func:`parse_prometheus` is the matching parser; rendering and parsing
+round-trip.  A process-wide default registry is available via
+:func:`get_registry`.
 """
 
 from __future__ import annotations
@@ -39,10 +50,62 @@ DEFAULT_LATENCY_BUCKETS_MS = (
 SUMMARY_PERCENTILES = (50, 95, 99)
 
 
+#: Prometheus label-name grammar (no colons, unlike metric names).
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
 def _check_name(name: str) -> str:
     if not _NAME_RE.match(name):
         raise ValueError(f"invalid metric name {name!r} (must match {_NAME_RE.pattern})")
     return name
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text-format spec (``\\``, ``"``, newline)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value`."""
+    out: list[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        if nxt == "n":
+            out.append("\n")
+        elif nxt in ('"', "\\"):
+            out.append(nxt)
+        else:  # unknown escape: keep verbatim
+            out.append("\\" + nxt)
+    return "".join(out)
+
+
+def _check_labels(labels: dict | None) -> dict[str, str]:
+    if not labels:
+        return {}
+    out: dict[str, str] = {}
+    for key in sorted(labels):
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+        out[key] = str(labels[key])
+    return out
+
+
+def format_labels(labels: dict[str, str]) -> str:
+    """``{k="v",...}`` with escaped values; empty string for no labels."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _series_key(name: str, labels: dict[str, str]) -> str:
+    return name + format_labels(labels)
 
 
 class Counter:
@@ -50,9 +113,16 @@ class Counter:
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str = "", callback: Callable[[], float] | None = None):
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        callback: Callable[[], float] | None = None,
+        labels: dict | None = None,
+    ):
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         self._callback = callback
         self._value = 0.0
         self._lock = threading.Lock()
@@ -81,9 +151,16 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "", callback: Callable[[], float] | None = None):
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        callback: Callable[[], float] | None = None,
+        labels: dict | None = None,
+    ):
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         self._callback = callback
         self._value = 0.0
         self._lock = threading.Lock()
@@ -127,9 +204,11 @@ class Histogram:
         name: str,
         help: str = "",
         buckets: Iterable[float] | None = None,
+        labels: dict | None = None,
     ):
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         if buckets is None:
             buckets = DEFAULT_LATENCY_BUCKETS_MS
         bounds = tuple(sorted(float(b) for b in buckets))
@@ -139,13 +218,17 @@ class Histogram:
             raise ValueError("bucket boundaries must be finite (+Inf is implicit)")
         self.bounds = bounds
         self._counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self._exemplars: dict[int, tuple[str, float]] = {}
         self._count = 0
         self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Record ``value``; an optional ``exemplar`` (e.g. a trace id)
+        is remembered for the bucket the value lands in (last one wins),
+        linking that bucket's tail to a concrete trace."""
         value = float(value)
         idx = self._bucket_index(value)
         with self._lock:
@@ -156,6 +239,8 @@ class Histogram:
                 self._min = value
             if value > self._max:
                 self._max = value
+            if exemplar is not None:
+                self._exemplars[idx] = (str(exemplar), value)
 
     def _bucket_index(self, value: float) -> int:
         lo, hi = 0, len(self.bounds)
@@ -228,6 +313,18 @@ class Histogram:
         out["+Inf"] = self._count
         return out
 
+    def exemplars(self) -> dict[str, dict]:
+        """Per-bucket exemplars, keyed like :meth:`bucket_counts`:
+        ``{"10": {"trace_id": "req-000042", "value": 7.3}, ...}``."""
+        with self._lock:
+            items = dict(self._exemplars)
+        out: dict[str, dict] = {}
+        for idx, (trace_id, value) in sorted(items.items()):
+            le = self.bounds[idx] if idx < len(self.bounds) else None
+            key = _format_bound(le) if le is not None else "+Inf"
+            out[key] = {"trace_id": trace_id, "value": value}
+        return out
+
 
 def _format_bound(bound: float) -> str:
     return f"{bound:g}"
@@ -241,42 +338,57 @@ class MetricsRegistry:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
     # ------------------------------------------------------------------
-    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+    def _get_or_create(self, cls, name: str, help: str, labels=None, **kwargs):
+        key = _series_key(_check_name(name), _check_labels(labels))
         with self._lock:
-            existing = self._metrics.get(name)
+            existing = self._metrics.get(key)
             if existing is not None:
                 if not isinstance(existing, cls):
                     raise ValueError(
-                        f"metric {name!r} already registered as {existing.kind}, "
+                        f"metric {key!r} already registered as {existing.kind}, "
                         f"requested {cls.kind}"
                     )
                 callback = kwargs.get("callback")
                 if callback is not None:
                     existing.bind(callback)
                 return existing
-            metric = cls(name, help, **kwargs)
-            self._metrics[name] = metric
+            metric = cls(name, help, labels=labels, **kwargs)
+            self._metrics[key] = metric
             return metric
 
     def counter(
-        self, name: str, help: str = "", callback: Callable[[], float] | None = None
+        self,
+        name: str,
+        help: str = "",
+        callback: Callable[[], float] | None = None,
+        labels: dict | None = None,
     ) -> Counter:
         """Get or create a counter (re-binding the callback if given)."""
-        return self._get_or_create(Counter, name, help, callback=callback)
+        return self._get_or_create(Counter, name, help, labels=labels, callback=callback)
 
     def gauge(
-        self, name: str, help: str = "", callback: Callable[[], float] | None = None
+        self,
+        name: str,
+        help: str = "",
+        callback: Callable[[], float] | None = None,
+        labels: dict | None = None,
     ) -> Gauge:
         """Get or create a gauge (re-binding the callback if given)."""
-        return self._get_or_create(Gauge, name, help, callback=callback)
+        return self._get_or_create(Gauge, name, help, labels=labels, callback=callback)
 
     def histogram(
-        self, name: str, help: str = "", buckets: Iterable[float] | None = None
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] | None = None,
+        labels: dict | None = None,
     ) -> Histogram:
         """Get or create a histogram (bucket bounds fixed at creation)."""
-        return self._get_or_create(Histogram, name, help, buckets=buckets)
+        return self._get_or_create(Histogram, name, help, labels=labels, buckets=buckets)
 
     def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """Look up by series key — bare name, or ``name{k="v"}`` for a
+        labeled series."""
         with self._lock:
             return self._metrics.get(name)
 
@@ -291,38 +403,133 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """JSON-friendly view: scalars for counters/gauges, dicts for
-        histograms (count, sum, mean, max, percentiles, buckets)."""
+        """JSON-friendly view keyed by series key: scalars for
+        counters/gauges, dicts for histograms (count, sum, mean, max,
+        percentiles, buckets, exemplars when present)."""
         out: dict[str, object] = {}
-        for name in self.names():
-            m = self._metrics[name]
+        for key in self.names():
+            m = self._metrics[key]
             if isinstance(m, Histogram):
-                out[name] = {
+                entry = {
                     "count": m.count,
                     "sum": m.sum,
                     **m.summary(),
                     "buckets": m.bucket_counts(),
                 }
+                exemplars = m.exemplars()
+                if exemplars:
+                    entry["exemplars"] = exemplars
+                out[key] = entry
             else:
-                out[name] = m.value
+                out[key] = m.value
         return out
 
-    def render_prometheus(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+    def render_prometheus(self, include_exemplars: bool = False) -> str:
+        """Prometheus text exposition format (version 0.0.4).
+
+        Conformance notes: histogram ``le`` buckets are cumulative and
+        end with ``le="+Inf"``, every histogram emits ``_sum`` and
+        ``_count``, and label values are escaped.  ``# HELP``/``# TYPE``
+        headers appear once per metric family even when the family has
+        many labeled series.  With ``include_exemplars=True``, bucket
+        lines gain an OpenMetrics-style ``# {trace_id="..."} value``
+        suffix (ignored by :func:`parse_prometheus`).
+        """
         lines: list[str] = []
-        for name in self.names():
-            m = self._metrics[name]
-            if m.help:
-                lines.append(f"# HELP {name} {m.help}")
-            lines.append(f"# TYPE {name} {m.kind}")
+        headered: set[str] = set()
+        for key in self.names():
+            m = self._metrics[key]
+            if m.name not in headered:
+                headered.add(m.name)
+                if m.help:
+                    lines.append(f"# HELP {m.name} {m.help}")
+                lines.append(f"# TYPE {m.name} {m.kind}")
+            labels = dict(m.labels)
             if isinstance(m, Histogram):
+                exemplars = m.exemplars() if include_exemplars else {}
                 for le, c in m.bucket_counts().items():
-                    lines.append(f'{name}_bucket{{le="{le}"}} {c}')
-                lines.append(f"{name}_sum {m.sum:g}")
-                lines.append(f"{name}_count {m.count}")
+                    line = f"{m.name}_bucket{format_labels({**labels, 'le': le})} {c}"
+                    ex = exemplars.get(le)
+                    if ex is not None:
+                        tid = escape_label_value(ex["trace_id"])
+                        line += f' # {{trace_id="{tid}"}} {ex["value"]:g}'
+                    lines.append(line)
+                lines.append(f"{m.name}_sum{format_labels(labels)} {m.sum:g}")
+                lines.append(f"{m.name}_count{format_labels(labels)} {m.count}")
             else:
-                lines.append(f"{name} {m.value:g}")
+                lines.append(f"{m.name}{format_labels(labels)} {m.value:g}")
         return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Text-format parser (the round-trip counterpart of render_prometheus).
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    # Exact label grammar (not greedy `.*`): an exemplar suffix also
+    # contains `{...}`, and must not be folded into the label set.
+    r'(?:\{(?P<labels>(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*)\})?'
+    r"\s+(?P<value>[^\s#]+)"
+    r"(?:\s*#.*)?$"  # OpenMetrics-style exemplar suffix, ignored
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    return {
+        key: unescape_label_value(raw)
+        for key, raw in _LABEL_PAIR_RE.findall(text)
+    }
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse a 0.0.4 text exposition back into families.
+
+    Returns ``{family: {"type": ..., "help": ..., "samples": [...]}}``
+    where each sample is ``(sample_name, labels_dict, value)`` —
+    histogram families carry their ``_bucket``/``_sum``/``_count``
+    samples.  Exemplar suffixes and unknown comments are ignored, so the
+    output of :meth:`MetricsRegistry.render_prometheus` (with or without
+    exemplars) round-trips.
+    """
+    families: dict[str, dict] = {}
+
+    def family_for(sample_name: str) -> dict:
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample_name.removesuffix(suffix)
+            if trimmed != sample_name and families.get(trimmed, {}).get("type") == "histogram":
+                base = trimmed
+                break
+        return families.setdefault(
+            base, {"type": None, "help": None, "samples": []}
+        )
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                fam = families.setdefault(
+                    parts[2], {"type": None, "help": None, "samples": []}
+                )
+                fam["type"] = parts[3]
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                fam = families.setdefault(
+                    parts[2], {"type": None, "help": None, "samples": []}
+                )
+                fam["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "")
+        value = float(match.group("value"))
+        family_for(name)["samples"].append((name, labels, value))
+    return families
 
 
 # ----------------------------------------------------------------------

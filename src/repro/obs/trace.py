@@ -8,6 +8,17 @@ timestamps) arranged in a per-thread nesting stack::
         ...
         s.set(buckets=len(result))
 
+Spans can carry a **distributed trace context**: a :class:`TraceContext`
+(trace id plus an optional causal parent span id) minted once at an
+ingress point and threaded through every component that touches the same
+logical request.  A span opened with ``tracer.span(name, ctx=ctx)``
+records ``ctx.trace_id``; child spans opened below it on the same stack
+inherit the trace id automatically, so one explicit ``ctx`` at the
+request root tags the whole subtree — including spans recorded by a
+*different* tracer in a different component (each serving shard owns a
+private tracer; see :func:`repro.obs.merge.merge_traces` for stitching
+the lanes back together by trace id).
+
 Finished spans export to the Chrome trace-event JSON format (open
 ``chrome://tracing`` or https://ui.perfetto.dev and load the file) via
 :meth:`Tracer.chrome_trace` / :meth:`Tracer.write`, and to a plain-text
@@ -35,6 +46,38 @@ from pathlib import Path
 #: Monotonic clock used for every span timestamp.
 CLOCK = time.perf_counter
 
+#: Process-wide source of fresh trace ids (see :func:`mint_trace_id`).
+_trace_ids = itertools.count(1)
+
+
+def mint_trace_id(prefix: str = "trace") -> str:
+    """A fresh process-unique trace id (``prefix-000001``, ...)."""
+    return f"{prefix}-{next(_trace_ids):06d}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Propagated identity of one logical request across components.
+
+    ``trace_id`` names the request; ``parent_span_id`` optionally points
+    at the span (in the *originating* tracer) that caused the work, so a
+    merged trace can reconstruct causality across tracer lanes.  The
+    context is immutable — hand the same instance to every component the
+    request flows through.
+    """
+
+    trace_id: str
+    parent_span_id: int | None = None
+
+    @classmethod
+    def mint(cls, prefix: str = "trace") -> "TraceContext":
+        """Mint a context with a fresh process-unique trace id."""
+        return cls(trace_id=mint_trace_id(prefix))
+
+    def child(self, span_id: int) -> "TraceContext":
+        """The same trace, re-parented under ``span_id``."""
+        return TraceContext(trace_id=self.trace_id, parent_span_id=span_id)
+
 
 @dataclass
 class Span:
@@ -47,6 +90,9 @@ class Span:
     start_s: float
     end_s: float | None = None
     attributes: dict = field(default_factory=dict)
+    #: Distributed trace id (inherited from the parent span or set by an
+    #: explicit :class:`TraceContext`); None for untagged spans.
+    trace_id: str | None = None
 
     def set(self, **attributes: object) -> "Span":
         """Attach attributes to the span mid-flight; returns ``self``."""
@@ -86,7 +132,9 @@ class NullTracer:
 
     enabled = False
 
-    def span(self, name: str, /, **attributes: object) -> _NullSpan:  # noqa: ARG002
+    def span(
+        self, name: str, /, ctx: object = None, **attributes: object
+    ) -> _NullSpan:  # noqa: ARG002
         return NULL_SPAN
 
     @property
@@ -136,17 +184,35 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
-    def span(self, name: str, /, **attributes: object) -> _SpanContext:
-        """Open a span; use as ``with tracer.span("stage", key=val) as s:``."""
+    def span(
+        self, name: str, /, ctx: TraceContext | None = None, **attributes: object
+    ) -> _SpanContext:
+        """Open a span; use as ``with tracer.span("stage", key=val) as s:``.
+
+        ``ctx`` tags the span (and, via stack inheritance, its whole
+        subtree) with a distributed trace id.  Without ``ctx`` the span
+        inherits the trace id of its parent on the nesting stack, so only
+        request roots need an explicit context.
+        """
         stack = self._stack()
-        parent = stack[-1].span_id if stack else None
+        parent = stack[-1] if stack else None
+        attrs = dict(attributes) if attributes else {}
+        if ctx is not None:
+            trace_id = ctx.trace_id
+            if parent is None and ctx.parent_span_id is not None:
+                # Causal link into another tracer's lane (e.g. the
+                # cluster frontend's ingress span).
+                attrs["link_span_id"] = ctx.parent_span_id
+        else:
+            trace_id = parent.trace_id if parent is not None else None
         sp = Span(
             name=name,
             span_id=next(self._ids),
-            parent_id=parent,
+            parent_id=parent.span_id if parent is not None else None,
             tid=threading.get_ident(),
             start_s=CLOCK(),
-            attributes=dict(attributes) if attributes else {},
+            attributes=attrs,
+            trace_id=trace_id,
         )
         return _SpanContext(self, sp)
 
@@ -225,18 +291,7 @@ class Tracer:
         spans = [s for s in self.spans if s.end_s is not None]
         origin = min((s.start_s for s in spans), default=0.0)
         pid = os.getpid()
-        events = [
-            {
-                "name": s.name,
-                "ph": "X",
-                "ts": (s.start_s - origin) * 1e6,
-                "dur": s.duration_s * 1e6,
-                "pid": pid,
-                "tid": s.tid,
-                "args": {k: _jsonable(v) for k, v in s.attributes.items()},
-            }
-            for s in spans
-        ]
+        events = [span_event(s, pid=pid, origin_s=origin) for s in spans]
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def write(self, path: str | Path) -> Path:
@@ -275,6 +330,28 @@ class Tracer:
                 f"{self_s * 1e3:10.3f} {pct:6.1f}%"
             )
         return "\n".join(lines)
+
+
+def span_event(span: Span, *, pid: int, origin_s: float) -> dict:
+    """One finished span as a Chrome complete (``"X"``) trace event.
+
+    Shared by :meth:`Tracer.chrome_trace` and the cross-tracer
+    :func:`repro.obs.merge.merge_traces` exporter (which assigns each
+    tracer its own ``pid`` lane).  ``trace_id`` travels in ``args`` so
+    Perfetto queries can follow one request across lanes.
+    """
+    args = {k: _jsonable(v) for k, v in span.attributes.items()}
+    if span.trace_id is not None:
+        args["trace_id"] = span.trace_id
+    return {
+        "name": span.name,
+        "ph": "X",
+        "ts": (span.start_s - origin_s) * 1e6,
+        "dur": span.duration_s * 1e6,
+        "pid": pid,
+        "tid": span.tid,
+        "args": args,
+    }
 
 
 def _jsonable(value: object) -> object:

@@ -53,7 +53,15 @@ import scipy.sparse as sp
 from repro.core.pipeline import LiteForm
 from repro.gpu.device import SimulatedDevice
 from repro.gpu.multi import MultiGPUSpec
-from repro.obs import get_tracer
+from repro.obs import (
+    SLOEngine,
+    TraceContext,
+    Tracer,
+    get_tracer,
+    merge_traces,
+    set_tracer,
+    write_merged,
+)
 from repro.serve.cluster.hotkeys import DEFAULT_WINDOW, WindowedFrequencySketch
 from repro.serve.cluster.metrics import ClusterMetrics
 from repro.serve.cluster.ring import DEFAULT_VIRTUAL_NODES, ShardRing
@@ -74,6 +82,9 @@ class _Pending:
     key: str
     #: Shards that already failed this request (reroutes avoid them).
     excluded: set[str] = field(default_factory=set)
+    #: Latency already burned on shards that failed this request —
+    #: charged to the "migration" stage of the final attribution.
+    migration_ms: float = 0.0
 
 
 @dataclass
@@ -146,6 +157,7 @@ class ClusterFrontend:
         spill_dir: str | Path | None = None,
         seed: int = 0,
         metrics: ClusterMetrics | None = None,
+        slo: SLOEngine | bool | None = None,
     ):
         """``num_shards`` initial shards, each with its own plan cache and
         a device pool described by ``multi_spec`` (``num_gpus`` devices of
@@ -160,6 +172,13 @@ class ClusterFrontend:
         ``batch`` > 0 puts a coalescing :class:`Scheduler` in front of
         every shard.  ``spill_dir`` holds the migration bundles (a fresh
         temp directory by default).
+
+        ``slo`` attaches a burn-rate alerting engine
+        (:class:`repro.obs.SLOEngine`; ``True`` = the stock objectives)
+        fed with *attempt-level* outcomes on the replay's virtual
+        timeline: a shard-level failure counts against availability even
+        when the reroute ultimately serves the request, so a fault storm
+        pages before request-level availability breaches.
         """
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -181,6 +200,19 @@ class ClusterFrontend:
         self.degrade_on_oom = degrade_on_oom
         self.reroute_on_failure = reroute_on_failure
         self.metrics = metrics or ClusterMetrics()
+        if slo is True:
+            slo = SLOEngine(registry=self.metrics.registry)
+        elif isinstance(slo, SLOEngine) and slo.registry is None:
+            slo.registry = self.metrics.registry
+        self.slo: SLOEngine | None = slo or None
+        #: Per-shard tracer lanes, created lazily once tracing is on.
+        self._shard_tracers: dict[str, Tracer] = {}
+        #: Ingress tracer remembered from the last traced submit, so the
+        #: merged trace keeps its frontend lane even after the caller
+        #: uninstalls the global tracer.
+        self._frontend_tracer: Tracer | None = None
+        #: Virtual time of the replay (feeds SLO evaluation windows).
+        self._clock_ms = 0.0
         self.ring = ShardRing(virtual_nodes=virtual_nodes)
         self._sketch = WindowedFrequencySketch(window=hot_window)
         self._rng = np.random.default_rng(seed)
@@ -259,6 +291,61 @@ class ClusterFrontend:
     def shards(self) -> tuple[str, ...]:
         """Live shard ids."""
         return self.ring.shards
+
+    # -- tracing lanes -------------------------------------------------
+    def _shard_lane(self, shard_id: str) -> Tracer | None:
+        """The shard's private tracer lane; None while tracing is off.
+
+        Lanes are created lazily on first traced use (the frontend is
+        usually constructed before the CLI installs a tracer) and kept
+        after shard death, so a killed shard's spans stay in the merged
+        trace.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return None
+        if isinstance(tracer, Tracer):
+            self._frontend_tracer = tracer
+        lane = self._shard_tracers.get(shard_id)
+        if lane is None:
+            lane = self._shard_tracers[shard_id] = Tracer(name=shard_id)
+        return lane
+
+    def _mark_enqueued(
+        self, shard: _Shard, item: _Pending, kind: str
+    ) -> None:
+        """Drop a zero-length ``enqueue`` span on the shard's lane —
+        the cross-lane breadcrumb that shows which shards a request
+        visited even before (or without) being served there."""
+        lane = self._shard_lane(shard.shard_id)
+        ctx = item.request.ctx
+        if lane is None or ctx is None:
+            return
+        with lane.span("enqueue", ctx=ctx, kind=kind, key=item.key[:16]):
+            pass
+
+    def lanes(self) -> dict[str, Tracer]:
+        """Every tracer lane for :func:`repro.obs.merge_traces`: the
+        frontend (the installed global tracer, or the one remembered
+        from the last traced submit — its ingress, route, and migrate
+        spans) plus each shard that ever served traced work."""
+        out: dict[str, Tracer] = {}
+        tracer = get_tracer()
+        if tracer.enabled and isinstance(tracer, Tracer):
+            out["frontend"] = tracer
+        elif self._frontend_tracer is not None:
+            out["frontend"] = self._frontend_tracer
+        for shard_id in sorted(self._shard_tracers):
+            out[shard_id] = self._shard_tracers[shard_id]
+        return out
+
+    def merged_trace(self) -> dict:
+        """One Chrome/Perfetto trace object across all lanes."""
+        return merge_traces(self.lanes())
+
+    def write_trace(self, path: str | Path) -> Path:
+        """Write the merged multi-lane trace to ``path``."""
+        return write_merged(self.lanes(), path)
 
     # -- routing -------------------------------------------------------
     def _route(self, key: str, *, observe: bool = True) -> _Shard:
@@ -375,17 +462,30 @@ class ClusterFrontend:
 
     # -- serving surface -----------------------------------------------
     def submit(self, request: SpMMRequest) -> int:
-        """Fingerprint, route, and enqueue a request; returns a ticket."""
+        """Fingerprint, route, and enqueue a request; returns a ticket.
+
+        This is the cluster's trace ingress: with tracing on, a
+        :class:`~repro.obs.TraceContext` is minted here (unless the
+        caller already attached one) and rides on the request through
+        routing, shard queueing, batching, serving, and any reroute — so
+        every span the request touches, on every lane, shares one trace
+        id.
+        """
         ticket = self._next_ticket
         self._next_ticket += 1
-        A = SpMMServer._canonical(request.matrix)
-        key = plan_key(fingerprint_csr(A), request.J)
-        shard = self._route(key)
-        shard.pending.append(
-            _Pending(ticket=ticket, request=request, A=A, key=key)
-        )
-        shard.routed += 1
-        self.metrics.routed += 1
+        tracer = get_tracer()
+        if request.ctx is None and tracer.enabled:
+            request.ctx = TraceContext.mint("req")
+        with tracer.span("ingress", ctx=request.ctx, ticket=ticket) as span:
+            A = SpMMServer._canonical(request.matrix)
+            key = plan_key(fingerprint_csr(A), request.J)
+            shard = self._route(key)
+            span.set(key=key[:16], shard=shard.shard_id)
+            item = _Pending(ticket=ticket, request=request, A=A, key=key)
+            shard.pending.append(item)
+            shard.routed += 1
+            self.metrics.routed += 1
+            self._mark_enqueued(shard, item, kind="submit")
         return ticket
 
     def poll(self, ticket: int) -> SpMMResponse | None:
@@ -418,18 +518,43 @@ class ClusterFrontend:
                     self._finish(shard, item, response)
 
     def _serve_on(self, shard: _Shard, items: list[_Pending]) -> list[SpMMResponse]:
-        if shard.scheduler is not None:
-            for item in items:
-                shard.scheduler.submit(item.request)
-            # Scheduler tickets are monotone, and drain returns unclaimed
-            # responses in ticket order — i.e. our submission order.
-            return shard.scheduler.drain()
-        return [
-            shard.server._serve_one(item.request, A=item.A, key=item.key)
-            for item in items
-        ]
+        # Each shard records onto its own tracer lane (swapped in around
+        # the serve call), so the merged trace renders one process track
+        # per shard; the request's TraceContext links the lanes.
+        lane = self._shard_lane(shard.shard_id)
+        previous = set_tracer(lane) if lane is not None else None
+        try:
+            if shard.scheduler is not None:
+                for item in items:
+                    shard.scheduler.submit(item.request)
+                # Scheduler tickets are monotone, and drain returns unclaimed
+                # responses in ticket order — i.e. our submission order.
+                return shard.scheduler.drain()
+            return [
+                shard.server._serve_one(item.request, A=item.A, key=item.key)
+                for item in items
+            ]
+        finally:
+            if previous is not None:
+                set_tracer(previous)
 
     def _finish(self, shard: _Shard, item: _Pending, response: SpMMResponse) -> None:
+        if self.slo is not None:
+            # Attempt-level feed: a shard-level failure burns budget even
+            # when the reroute below ultimately serves the request — the
+            # leading indicator that makes the burn-rate alert fire
+            # before request-level availability breaches.
+            self.slo.tracer = get_tracer()
+            self.slo.record(
+                self._clock_ms,
+                ok=not response.failed,
+                latency_ms=response.latency_ms + item.migration_ms,
+                deadline_hit=(
+                    None
+                    if item.request.deadline_ms is None
+                    else not response.deadline_missed
+                ),
+            )
         if response.failed and self.reroute_on_failure:
             item.excluded.add(shard.shard_id)
             target = next(
@@ -443,9 +568,13 @@ class ClusterFrontend:
             if target is not None:
                 self.metrics.rerouted += 1
                 self.metrics.routed += 1
+                # The latency burned on the failing shard is this
+                # request's migration cost, attributed when it completes.
+                item.migration_ms += response.latency_ms
                 dest = self._shards[target]
                 dest.pending.append(item)
                 dest.routed += 1
+                self._mark_enqueued(dest, item, kind="reroute")
                 return
         shard.completed += 1
         if response.measurement is not None:
@@ -455,7 +584,33 @@ class ClusterFrontend:
         self.metrics.completed += 1
         if response.failed:
             self.metrics.failed += 1
+        self._attribute(shard, item, response)
         self._completed[item.ticket] = response
+
+    def _attribute(
+        self, shard: _Shard, item: _Pending, response: SpMMResponse
+    ) -> None:
+        """Record the finished request's stage breakdown (cluster view)."""
+        compose_ms = response.compose_overhead_s * 1e3
+        launch_ms = max(
+            0.0,
+            response.latency_ms
+            - response.queue_wait_ms
+            - compose_ms
+            - response.backoff_ms,
+        )
+        self.metrics.attribution.record(
+            response.trace_id,
+            {
+                "queue_wait": response.queue_wait_ms,
+                "compose": compose_ms,
+                "launch": launch_ms,
+                "retry_backoff": response.backoff_ms,
+                "migration": item.migration_ms,
+            },
+            total_ms=response.latency_ms + item.migration_ms,
+            shard=shard.shard_id,
+        )
 
     # -- elastic membership --------------------------------------------
     def _primary_owned(self) -> dict[str, _Shard]:
@@ -580,6 +735,7 @@ class ClusterFrontend:
             target.pending.append(item)
             target.routed += 1
             self.metrics.routed += 1
+            self._mark_enqueued(target, item, kind="requeue")
         return len(items)
 
     # -- replay --------------------------------------------------------
@@ -607,6 +763,7 @@ class ClusterFrontend:
         with get_tracer().span("cluster_replay", requests=len(requests)):
             for index, request in enumerate(requests):
                 now = request.arrival_ms if timed else float(index)
+                self._clock_ms = max(self._clock_ms, now)
                 if (
                     kill_shard_at_ms is not None
                     and not killed
@@ -663,6 +820,7 @@ class ClusterFrontend:
                 "throughput_rps": self.aggregate_throughput_rps,
                 "scaling_efficiency": self.scaling_efficiency,
             },
+            "slo": self.slo.snapshot() if self.slo is not None else None,
             "shards": [],
         }
         for shard_id in sorted(self._shards):
@@ -715,4 +873,8 @@ class ClusterFrontend:
                 f"{s.server.metrics.hit_rate:.0%} hits, "
                 f"{s.busy_ms:.3f} ms busy{state}"
             )
+        if self.metrics.attribution.count:
+            lines.append(self.metrics.report())
+        if self.slo is not None:
+            lines.append(self.slo.report())
         return "\n".join(lines)

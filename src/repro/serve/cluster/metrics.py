@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.obs import MetricsRegistry
+from repro.obs import AttributionCollector, MetricsRegistry
 
 
 @dataclass
@@ -45,8 +45,17 @@ class ClusterMetrics:
     last_remigration_fraction: float = 0.0
     #: Registry this scoreboard publishes onto.
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Cluster-level per-request stage breakdown (queue_wait / compose /
+    #: launch / retry_backoff / migration) for tail-latency attribution;
+    #: publishes ``cluster_stage_ms{stage="..."}`` histograms (with trace
+    #: exemplars) onto :attr:`registry`.
+    attribution: AttributionCollector | None = None
 
     def __post_init__(self) -> None:
+        if self.attribution is None:
+            self.attribution = AttributionCollector(
+                self.registry, prefix="cluster_stage"
+            )
         r = self.registry
         for name, help_text, attr in (
             ("cluster_routed_total", "Routing decisions made", "routed"),
@@ -103,4 +112,10 @@ class ClusterMetrics:
             "shards_removed": self.shards_removed,
             "shards_killed": self.shards_killed,
             "last_remigration_fraction": self.last_remigration_fraction,
+            "attribution": self.attribution.snapshot(),
         }
+
+    def report(self) -> str:
+        """Plain-text tail-latency attribution over the fleet's requests
+        (the cluster counters render through the frontend's report)."""
+        return self.attribution.report()

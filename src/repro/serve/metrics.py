@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.obs import MetricsRegistry
+from repro.obs import AttributionCollector, MetricsRegistry
 
 #: Percentiles reported by every latency summary.
 PERCENTILES = (50, 95, 99)
@@ -140,8 +140,16 @@ class ServerMetrics:
     failed_ms: LatencySeries = field(default_factory=LatencySeries)
     #: Registry this scoreboard publishes onto.
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Per-request stage breakdown (queue_wait / compose / launch /
+    #: retry_backoff) for tail-latency attribution; publishes
+    #: ``serve_stage_ms{stage="..."}`` histograms onto :attr:`registry`.
+    attribution: AttributionCollector | None = None
 
     def __post_init__(self) -> None:
+        if self.attribution is None:
+            self.attribution = AttributionCollector(
+                self.registry, prefix="serve_stage"
+            )
         r = self.registry
         for name, help_text, attr in (
             ("serve_requests_total", "Requests served", "requests"),
@@ -235,6 +243,7 @@ class ServerMetrics:
             "exec_ms": self.exec_ms.summary(),
             "total_ms": self.total_ms.summary(),
             "failed_ms": self.failed_ms.summary(),
+            "attribution": self.attribution.snapshot(),
         }
 
     def report(self) -> str:

@@ -400,11 +400,17 @@ class Scheduler:
 
     def _dispatch(self, group: list[_QueuedRequest], now: float) -> None:
         waits = [now - item.enqueued_ms for item in group]
+        member_ids = [
+            item.request.ctx.trace_id
+            for item in group
+            if item.request.ctx is not None
+        ]
         with get_tracer().span(
             "queue_wait",
             size=len(group),
             key=group[0].key,
             max_wait_ms=round(max(waits), 4),
+            **({"trace_ids": ",".join(member_ids)} if member_ids else {}),
         ):
             responses = self.server.serve_batch(
                 [item.request for item in group],

@@ -52,7 +52,7 @@ from repro.formats.csr import CSRFormat
 from repro.gpu.device import DeviceLostError, SimulatedDevice, SimulatedOOMError
 from repro.gpu.stats import Measurement
 from repro.kernels.csr_spmm import RowSplitCSRSpMM
-from repro.obs import get_tracer
+from repro.obs import TraceContext, get_tracer
 from repro.serve.fingerprint import fingerprint_csr, plan_key
 from repro.serve.metrics import ServerMetrics
 from repro.serve.plan_cache import PlanCache
@@ -94,6 +94,9 @@ class SpMMRequest:
     deadline_ms: float | None = None
     name: str = ""
     arrival_ms: float = 0.0
+    #: Distributed trace context minted at the ingress point (e.g. the
+    #: cluster frontend); None = the server mints one itself when traced.
+    ctx: TraceContext | None = None
 
 
 @dataclass
@@ -135,6 +138,8 @@ class SpMMResponse:
     #: The scheduler's bounded queue was full; this request was shed to
     #: the degraded CSR path instead of queueing.
     shed: bool = False
+    #: Trace id the request was served under (None when untraced).
+    trace_id: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -451,8 +456,14 @@ class SpMMServer:
         m = self.metrics
         m.requests += 1
         tracer = get_tracer()
+        ctx = request.ctx
+        if ctx is None and tracer.enabled:
+            # Standalone server = its own ingress point: mint here so the
+            # whole request subtree (compose, kernel launches) is linked.
+            ctx = TraceContext.mint("req")
+        trace_id = ctx.trace_id if ctx is not None else None
         with tracer.span(
-            "request", J=request.J, matrix=request.name or "anonymous"
+            "request", ctx=ctx, J=request.J, matrix=request.name or "anonymous"
         ) as req_span:
             t0 = time.perf_counter()
             with tracer.span("cache_lookup"):
@@ -513,6 +524,16 @@ class SpMMServer:
                 deadline_missed=deadline_missed,
                 sim_exec_ms=exec_ms,
             )
+            m.attribution.record(
+                trace_id,
+                {
+                    "queue_wait": queue_wait_ms,
+                    "compose": overhead_ms,
+                    "launch": exec_ms,
+                    "retry_backoff": outcome["backoff_ms"],
+                },
+                total_ms=latency_ms,
+            )
         return SpMMResponse(
             C=outcome["C"],
             measurement=measurement,
@@ -531,6 +552,7 @@ class SpMMServer:
             degraded_oom=outcome["degraded_oom"],
             queue_wait_ms=queue_wait_ms,
             shed=shed,
+            trace_id=trace_id,
         )
 
     # -- async-style surface -------------------------------------------
@@ -631,7 +653,12 @@ class SpMMServer:
         J = requests[0].J
         m.requests += n
         tracer = get_tracer()
+        member_ids = [r.ctx.trace_id for r in requests if r.ctx is not None]
         with tracer.span("batch", size=n, J=J, key=key) as batch_span:
+            if member_ids:
+                # A fused launch serves many trace ids at once; list them
+                # on the batch span so any member's trace finds it.
+                batch_span.set(trace_ids=",".join(member_ids))
             t0 = time.perf_counter()
             deadlines = [
                 r.deadline_ms - w
@@ -690,6 +717,17 @@ class SpMMServer:
                     if degraded or outcome["degraded_oom"]
                     else ResponseStatus.OK
                 )
+            trace_id = request.ctx.trace_id if request.ctx is not None else None
+            m.attribution.record(
+                trace_id,
+                {
+                    "queue_wait": wait,
+                    "compose": overhead_ms,
+                    "launch": exec_ms,
+                    "retry_backoff": outcome["backoff_ms"],
+                },
+                total_ms=latency_ms,
+            )
             responses.append(
                 SpMMResponse(
                     C=C_i,
@@ -709,6 +747,7 @@ class SpMMServer:
                     degraded_oom=outcome["degraded_oom"],
                     batch_size=n,
                     queue_wait_ms=wait,
+                    trace_id=trace_id,
                 )
             )
         return responses

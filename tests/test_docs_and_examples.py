@@ -100,6 +100,9 @@ class TestModuleInventory:
         "repro.obs",
         "repro.obs.trace",
         "repro.obs.registry",
+        "repro.obs.merge",
+        "repro.obs.slo",
+        "repro.obs.attribution",
         "repro.serve.fingerprint",
         "repro.serve.plan_cache",
         "repro.serve.metrics",

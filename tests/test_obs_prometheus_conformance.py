@@ -1,0 +1,147 @@
+"""Prometheus text-exposition conformance and parser round-trip.
+
+Pins the format-0.0.4 contract of
+:meth:`~repro.obs.MetricsRegistry.render_prometheus` — cumulative ``le``
+buckets ending in ``+Inf``, ``_sum``/``_count`` per histogram, escaped
+label values, one ``# HELP``/``# TYPE`` header per family — and that
+:func:`~repro.obs.parse_prometheus` inverts it exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    escape_label_value,
+    format_labels,
+    parse_prometheus,
+)
+from repro.obs.registry import unescape_label_value
+
+TRICKY = 'a\\b"c\nd'
+
+
+class TestEscaping:
+    @pytest.mark.parametrize("raw", [
+        "plain", TRICKY, "\\", '"', "\n", "", 'end\\', "tab\tkept",
+    ])
+    def test_round_trip(self, raw):
+        assert unescape_label_value(escape_label_value(raw)) == raw
+
+    def test_escape_spec(self):
+        assert escape_label_value(TRICKY) == 'a\\\\b\\"c\\nd'
+
+    def test_format_labels_sorted_and_escaped(self):
+        out = format_labels({"b": "2", "a": TRICKY})
+        assert out == '{a="a\\\\b\\"c\\nd",b="2"}'
+        assert format_labels({}) == ""
+
+
+class TestExpositionConformance:
+    def _registry(self):
+        r = MetricsRegistry()
+        r.counter("req_total", "Requests", labels={"path": TRICKY}).inc(3)
+        r.counter("req_total", "Requests", labels={"path": "ok"}).inc(1)
+        r.gauge("depth", "Queue depth").set(2.5)
+        h = r.histogram("lat_ms", "Latency", buckets=(1.0, 10.0))
+        h.observe(0.5, exemplar="req-000001")
+        h.observe(5.0, exemplar="req-000002")
+        h.observe(500.0, exemplar="req-000003")
+        return r
+
+    def test_buckets_cumulative_ending_inf(self):
+        text = self._registry().render_prometheus()
+        assert 'lat_ms_bucket{le="1"} 1' in text
+        assert 'lat_ms_bucket{le="10"} 2' in text
+        assert 'lat_ms_bucket{le="+Inf"} 3' in text
+        assert text.index('le="1"') < text.index('le="10"') < text.index('le="+Inf"')
+
+    def test_sum_and_count_present(self):
+        text = self._registry().render_prometheus()
+        assert "lat_ms_sum 505.5" in text
+        assert "lat_ms_count 3" in text
+
+    def test_labeled_histogram_keeps_labels_on_every_series(self):
+        r = MetricsRegistry()
+        r.histogram("h_ms", "x", buckets=(1.0,), labels={"stage": "q"}).observe(0.5)
+        text = r.render_prometheus()
+        assert 'h_ms_bucket{le="1",stage="q"} 1' in text
+        assert 'h_ms_sum{stage="q"} 0.5' in text
+        assert 'h_ms_count{stage="q"} 1' in text
+
+    def test_help_type_once_per_family(self):
+        text = self._registry().render_prometheus()
+        assert text.count("# TYPE req_total counter") == 1
+        assert text.count("# HELP req_total Requests") == 1
+        # Both labeled series still rendered.
+        assert text.count("req_total{") == 2
+
+    def test_label_values_escaped_in_output(self):
+        text = self._registry().render_prometheus()
+        assert 'path="a\\\\b\\"c\\nd"' in text
+        assert "\nd\"" not in text  # raw newline must not split the line
+
+    def test_ends_with_newline(self):
+        assert self._registry().render_prometheus().endswith("\n")
+
+    def test_exemplar_suffix_opt_in(self):
+        plain = self._registry().render_prometheus()
+        assert "trace_id=" not in plain
+        rich = self._registry().render_prometheus(include_exemplars=True)
+        assert '# {trace_id="req-000002"} 5' in rich
+
+
+class TestParserRoundTrip:
+    def _registry(self):
+        return TestExpositionConformance()._registry()
+
+    def test_families_and_types(self):
+        fams = parse_prometheus(self._registry().render_prometheus())
+        assert fams["req_total"]["type"] == "counter"
+        assert fams["depth"]["type"] == "gauge"
+        assert fams["lat_ms"]["type"] == "histogram"
+        assert fams["req_total"]["help"] == "Requests"
+
+    def test_histogram_samples_grouped_under_family(self):
+        fams = parse_prometheus(self._registry().render_prometheus())
+        samples = fams["lat_ms"]["samples"]
+        names = {name for name, _, _ in samples}
+        assert names == {"lat_ms_bucket", "lat_ms_sum", "lat_ms_count"}
+        inf = next(
+            v for name, labels, v in samples
+            if name == "lat_ms_bucket" and labels["le"] == "+Inf"
+        )
+        assert inf == 3.0
+        count = next(v for name, _, v in samples if name == "lat_ms_count")
+        assert count == 3.0
+
+    def test_label_values_unescaped(self):
+        fams = parse_prometheus(self._registry().render_prometheus())
+        paths = {
+            labels["path"]
+            for _, labels, _ in fams["req_total"]["samples"]
+        }
+        assert paths == {TRICKY, "ok"}
+
+    def test_exemplar_suffix_ignored(self):
+        r = self._registry()
+        assert (
+            parse_prometheus(r.render_prometheus(include_exemplars=True))
+            == parse_prometheus(r.render_prometheus())
+        )
+
+    def test_counter_values_survive(self):
+        fams = parse_prometheus(self._registry().render_prometheus())
+        by_path = {
+            labels["path"]: v for _, labels, v in fams["req_total"]["samples"]
+        }
+        assert by_path == {TRICKY: 3.0, "ok": 1.0}
+
+    def test_unparseable_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("!!! not a metric line")
+
+    def test_blank_lines_and_unknown_comments_skipped(self):
+        fams = parse_prometheus("\n# just a comment\nup 1\n\n")
+        assert fams["up"]["samples"] == [("up", {}, 1.0)]

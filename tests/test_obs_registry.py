@@ -165,3 +165,79 @@ class TestRegistry:
         assert r is get_registry()
         assert r.get("compose_total") is not None
         assert r.get("compose_overhead_ms") is not None
+
+
+class TestHistogramPercentileBoundaries:
+    def _hist(self, *values, buckets=(1.0, 10.0, 100.0)):
+        h = Histogram("b_ms", buckets=buckets)
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_empty_histogram_is_zero(self):
+        h = self._hist()
+        assert h.percentile(0) == 0.0
+        assert h.percentile(50) == 0.0
+        assert h.percentile(100) == 0.0
+
+    def test_out_of_range_raises(self):
+        h = self._hist(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+        with pytest.raises(ValueError):
+            h.percentile(100.1)
+
+    def test_single_observation_all_percentiles(self):
+        h = self._hist(7.0)
+        for p in (0, 1, 50, 99, 100):
+            assert h.percentile(p) == pytest.approx(7.0)
+
+    def test_p0_and_p100_clamp_to_observed_extremes(self):
+        h = self._hist(0.5, 5.0, 50.0)
+        assert h.percentile(0) == pytest.approx(0.5)
+        assert h.percentile(100) == pytest.approx(50.0)
+
+    def test_value_beyond_last_finite_bucket(self):
+        h = self._hist(0.5, 99_999.0)
+        # The overflow lands in the implicit +Inf bucket; the estimate
+        # must clamp to the observed max, never report a bucket edge.
+        assert h.percentile(100) == pytest.approx(99_999.0)
+        assert h.bucket_counts()["+Inf"] == 2
+        assert h.bucket_counts()["100"] == 1
+
+    def test_estimates_bounded_by_min_max(self):
+        h = self._hist(2.0, 3.0, 4.0, 60.0)
+        for p in (0, 25, 50, 75, 100):
+            assert h.min <= h.percentile(p) <= h.max
+
+
+class TestLatencySeriesReservoir:
+    def _series(self, n, seed=0, max_samples=64):
+        from repro.serve.metrics import LatencySeries
+
+        s = LatencySeries(max_samples=max_samples, seed=seed)
+        rng = np.random.default_rng(99)
+        for v in rng.exponential(5.0, size=n):
+            s.add(float(v))
+        return s
+
+    def test_deterministic_under_fixed_seed(self):
+        a = self._series(5000, seed=3)
+        b = self._series(5000, seed=3)
+        assert np.array_equal(a.values, b.values)
+        assert a.summary() == b.summary()
+
+    def test_exact_scalars_survive_sampling(self):
+        s = self._series(5000)
+        assert len(s) == 5000
+        assert len(s.values) == 64
+        # count/mean/max are streamed exactly, not sampled.
+        rng = np.random.default_rng(99)
+        values = rng.exponential(5.0, size=5000)
+        assert s.mean == pytest.approx(values.mean())
+        assert s.max == pytest.approx(values.max())
+
+    def test_no_sampling_below_capacity(self):
+        s = self._series(50, max_samples=64)
+        assert len(s.values) == 50
+        assert s.percentile(100) == pytest.approx(s.max)

@@ -1,0 +1,148 @@
+"""Distributed trace-context propagation and multi-lane trace merging.
+
+The single-tracer mechanics (nesting, export, flame summary) live in
+``test_obs_trace.py``; these tests pin the *distributed* layer — one
+:class:`~repro.obs.TraceContext` minted at an ingress tags every span a
+request touches, across tracers, and :func:`~repro.obs.merge_traces`
+stitches the per-component tracers into one Perfetto file whose lanes
+share a time origin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs import (
+    NullTracer,
+    TraceContext,
+    Tracer,
+    merge_traces,
+    mint_trace_id,
+    trace_ids_by_lane,
+    write_merged,
+)
+
+
+class TestTraceContext:
+    def test_mint_is_unique_and_prefixed(self):
+        a = TraceContext.mint("req")
+        b = TraceContext.mint("req")
+        assert a.trace_id != b.trace_id
+        assert a.trace_id.startswith("req-")
+        assert a.parent_span_id is None
+
+    def test_mint_trace_id_function(self):
+        assert mint_trace_id("x").startswith("x-")
+        assert mint_trace_id() != mint_trace_id()
+
+    def test_child_reparents_same_trace(self):
+        ctx = TraceContext.mint("req")
+        child = ctx.child(42)
+        assert child.trace_id == ctx.trace_id
+        assert child.parent_span_id == 42
+        assert ctx.parent_span_id is None  # original untouched
+
+    def test_immutable(self):
+        ctx = TraceContext.mint()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ctx.trace_id = "other"
+
+
+class TestSpanTagging:
+    def test_root_span_carries_ctx_trace_id(self):
+        t = Tracer()
+        ctx = TraceContext.mint("req")
+        with t.span("serve", ctx=ctx):
+            pass
+        assert t.spans[0].trace_id == ctx.trace_id
+
+    def test_children_inherit_without_explicit_ctx(self):
+        t = Tracer()
+        ctx = TraceContext.mint("req")
+        with t.span("serve", ctx=ctx):
+            with t.span("compose"):
+                with t.span("kernel_launch"):
+                    pass
+        assert {s.trace_id for s in t.spans} == {ctx.trace_id}
+
+    def test_sibling_roots_stay_untagged(self):
+        t = Tracer()
+        with t.span("a", ctx=TraceContext.mint()):
+            pass
+        with t.span("b"):
+            pass
+        by_name = {s.name: s for s in t.spans}
+        assert by_name["a"].trace_id is not None
+        assert by_name["b"].trace_id is None
+
+    def test_cross_lane_link_attribute(self):
+        """A root span opened with a re-parented ctx records the causal
+        link into the originating tracer's lane."""
+        frontend, shard = Tracer("frontend"), Tracer("shard-0")
+        ctx = TraceContext.mint("req")
+        with frontend.span("ingress", ctx=ctx) as ingress:
+            pass
+        with shard.span("serve", ctx=ctx.child(ingress.span_id)):
+            pass
+        assert shard.spans[0].attributes["link_span_id"] == ingress.span_id
+        assert shard.spans[0].trace_id == ctx.trace_id
+
+    def test_null_tracer_accepts_ctx(self):
+        with NullTracer().span("x", ctx=TraceContext.mint()) as s:
+            s.set(whatever=1)
+
+
+class TestMergeTraces:
+    def _two_lanes(self):
+        frontend, shard = Tracer("frontend"), Tracer("shard-0")
+        ctx = TraceContext.mint("req")
+        with frontend.span("ingress", ctx=ctx):
+            pass
+        with shard.span("serve", ctx=ctx):
+            with shard.span("kernel_launch"):
+                pass
+        return ctx, {"frontend": frontend, "shard-0": shard}
+
+    def test_one_pid_lane_per_tracer(self):
+        _, lanes = self._two_lanes()
+        trace = merge_traces(lanes)
+        events = trace["traceEvents"]
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e.get("ph") == "M" and e["name"] == "process_name"
+        }
+        assert names == {0: "frontend", 1: "shard-0"}
+        assert {e["pid"] for e in events} == {0, 1}
+
+    def test_shared_time_origin(self):
+        _, lanes = self._two_lanes()
+        spans = [e for e in merge_traces(lanes)["traceEvents"] if e["ph"] == "X"]
+        assert min(s["ts"] for s in spans) == 0.0
+        assert all(s["ts"] >= 0.0 for s in spans)
+
+    def test_trace_id_travels_in_args(self):
+        ctx, lanes = self._two_lanes()
+        spans = [e for e in merge_traces(lanes)["traceEvents"] if e["ph"] == "X"]
+        tagged = [s for s in spans if s["args"].get("trace_id") == ctx.trace_id]
+        assert len(tagged) == 3  # ingress + serve + inherited kernel_launch
+
+    def test_trace_ids_by_lane(self):
+        ctx, lanes = self._two_lanes()
+        ids = trace_ids_by_lane(lanes)
+        assert ids["frontend"] == {ctx.trace_id}
+        assert ids["shard-0"] == {ctx.trace_id}
+
+    def test_write_merged_round_trips_json(self, tmp_path):
+        _, lanes = self._two_lanes()
+        path = write_merged(lanes, tmp_path / "merged.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == merge_traces(lanes)
+        assert loaded["displayTimeUnit"] == "ms"
+
+    def test_empty_lanes(self):
+        assert merge_traces({})["traceEvents"] == []
+        assert trace_ids_by_lane({"a": Tracer()}) == {"a": set()}
