@@ -205,6 +205,125 @@ def _bench_compose(entries, repeats: int) -> Iterator[Metric]:
     )
 
 
+def _bench_parallel(entries, repeats: int) -> Iterator[Metric]:
+    """Partition-pool compose fan-out: pooled wall time, LPT-modeled
+    speedup at 4 workers, and a bit-identity checksum.
+
+    The speedup gate is *modeled* (serial-measured per-partition task
+    times scheduled LPT onto 4 workers), not measured thread speedup —
+    wall-clock parallel efficiency on an oversubscribed CI runner is
+    noise, while the model is as deterministic as the wall-time band."""
+    from repro.core.parallel import PoolSpec, compose_partitions, lpt_makespan
+
+    P = 4
+    pool = PoolSpec(workers=4, kind="thread")
+    wall_pool = _median_wall_ms(
+        lambda: [
+            compose_partitions(e.matrix, P, SUITE_J, pool=pool) for e in entries
+        ],
+        repeats,
+    )
+    yield Metric("compose.parallel.wall_ms", wall_pool, "wall", "ms")
+    # De-jitter the model input: a single descheduled partition task can
+    # balloon one wall and drag the modeled speedup toward 1, so take the
+    # per-task minimum over a few serial runs before scheduling LPT.
+    walls: list[np.ndarray] = []
+    for _ in range(max(repeats, 3)):
+        fans = [compose_partitions(e.matrix, P, SUITE_J) for e in entries]
+        run_walls = [np.asarray(f.task_walls, dtype=np.float64) for f in fans]
+        walls = (
+            run_walls
+            if not walls
+            else [np.minimum(a, b) for a, b in zip(walls, run_walls)]
+        )
+    speedups = [
+        float(w.sum()) / max(lpt_makespan(w.tolist(), pool.workers), 1e-12)
+        if w.sum() > 0.0
+        else 1.0
+        for w in walls
+    ]
+    yield Metric(
+        "compose.parallel.speedup_model_w4",
+        float(geomean(speedups)),
+        "ratio",
+        "x",
+    )
+    formats = [
+        compose_partitions(e.matrix, P, SUITE_J, pool=pool).to_format()
+        for e in entries
+    ]
+    yield Metric(
+        "compose.parallel.structure_checksum",
+        _format_checksum(formats),
+        "exact",
+        tol=1e-9,
+    )
+
+
+def _bench_incremental(repeats: int) -> Iterator[Metric]:
+    """Delta patching vs. full recompose on a seeded row-update stream.
+
+    Banded matrices keep each row inside one or two column partitions,
+    so a handful of changed rows touches a strict subset of the
+    partitions — the case ``patch_rows`` exists for.  The rebuilt count
+    and the final structure checksum are exact (seeded updates); the
+    patch/full ratio is machine-relative."""
+    from repro.core.pipeline import compose_cell_plan
+    from repro.matrices.generators import banded_matrix, random_row_update
+
+    P = 8
+    steps = 6
+    A0 = banded_matrix(4000, 24, fill=0.6, seed=SUITE_SEED)
+    rng = np.random.default_rng(SUITE_SEED)
+    stream = []
+    A = A0
+    for _ in range(steps):
+        rows, A = random_row_update(A, rng, num_rows=3, band=24)
+        stream.append((rows, A))
+
+    rebuilt = 0
+    final_fmt = None
+
+    def run_patch():
+        nonlocal rebuilt, final_fmt
+        rebuilt = 0
+        plan = compose_cell_plan(A0, P, SUITE_J)
+        for rows, B in stream:
+            plan = plan.patch_rows(B, rows)
+            rebuilt += len(plan.incremental.patched)
+        final_fmt = plan.fmt
+        return plan
+
+    def run_full():
+        plan = compose_cell_plan(A0, P, SUITE_J)
+        for _, B in stream:
+            plan = compose_cell_plan(B, P, SUITE_J)
+        return plan
+
+    # Median-of-3 floor: the patch/full ratio gate divides two small
+    # walls, so a single-sample measurement is too jitter-prone.
+    wall_patch = _median_wall_ms(run_patch, max(repeats, 3))
+    wall_full = _median_wall_ms(run_full, max(repeats, 3))
+    yield Metric("compose.incremental.patch.wall_ms", wall_patch, "wall", "ms")
+    yield Metric("compose.incremental.full.wall_ms", wall_full, "wall", "ms")
+    yield Metric(
+        "compose.incremental.speedup_vs_full",
+        wall_full / max(wall_patch, 1e-9),
+        "ratio",
+        "x",
+    )
+    yield Metric(
+        "compose.incremental.partitions_rebuilt", float(rebuilt), "exact"
+    )
+    assert final_fmt is not None
+    yield Metric(
+        "compose.incremental.structure_checksum",
+        _format_checksum([final_fmt]),
+        "exact",
+        tol=1e-9,
+    )
+
+
 def _bench_tune(entries, repeats: int) -> Iterator[Metric]:
     def tune_all():
         evals = 0
@@ -392,6 +511,8 @@ def run_suite(repeats: int = 3, include_serve: bool = True) -> dict:
     entries = _suite_entries()
     metrics: list[Metric] = []
     metrics.extend(_bench_compose(entries, repeats))
+    metrics.extend(_bench_parallel(entries, repeats))
+    metrics.extend(_bench_incremental(repeats))
     metrics.extend(_bench_tune(entries, repeats))
     metrics.extend(_bench_kernel(entries, repeats))
     if include_serve:

@@ -5,6 +5,8 @@ Commands
 ``compose``
     Compose a format for a Matrix Market file (or a named synthetic
     workload) and print the plan plus simulated SpMM performance.
+    ``--pool thread --workers 4`` fans the per-partition compose out over
+    a worker pool (bit-identical to serial; see docs/COMPOSE.md).
 ``compare``
     Run every baseline system on the input and print a Figure 6-style row.
 ``train``
@@ -20,7 +22,9 @@ Commands
     coalesced into fused launches of up to ``N`` — with ``--max-wait-ms``
     (batch timeout), ``--arrival-rate`` (Poisson arrivals, requests per
     simulated second), and ``--max-queue`` (backpressure bound; overflow
-    is shed to the degraded path).
+    is shed to the degraded path).  ``--speculative`` serves cache
+    misses the immediate CSR plan while a background compose builds
+    CELL, swapped into the cache when ready (docs/COMPOSE.md).
 ``bench``
     Run the pinned micro-benchmark suite (:mod:`repro.bench.regress`) and
     write a schema-versioned ``BENCH_<rev>.json`` snapshot.  ``--check``
@@ -61,6 +65,7 @@ import numpy as np
 
 from repro.baselines import FIG6_BASELINES, LiteFormBaseline, make_baseline
 from repro.core import LiteForm, generate_training_data
+from repro.core.parallel import POOL_KINDS, PoolSpec
 from repro.core.persistence import load_liteform, save_liteform
 from repro.formats import (
     BCSRFormat,
@@ -134,6 +139,8 @@ def _get_liteform(args) -> LiteForm:
 def cmd_compose(args) -> int:
     A = _load_matrix(args.matrix)
     lf = _get_liteform(args)
+    if args.pool != "serial":
+        lf.pool = PoolSpec(workers=args.workers, kind=args.pool)
     with _maybe_trace(args):
         tracer = get_tracer()
         with tracer.span("compose", matrix=args.matrix):
@@ -302,6 +309,7 @@ def cmd_serve(args) -> int:
             max_queue=args.max_queue,
             retry=RetryPolicy(max_attempts=args.retries),
             degrade_on_oom=not args.no_degrade,
+            speculative=args.speculative,
             seed=args.seed,
             slo=slo,
         )
@@ -355,6 +363,7 @@ def cmd_serve(args) -> int:
         devices=devices,
         retry=RetryPolicy(max_attempts=args.retries),
         degrade_on_oom=not args.no_degrade,
+        speculative=args.speculative,
     )
     if args.batch:
         from repro.serve import Scheduler
@@ -536,6 +545,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("compose", help="compose a format with LiteForm")
     add_common(sp)
+    sp.add_argument("--pool", choices=POOL_KINDS, default="serial",
+                    help="fan the per-partition compose out over a worker "
+                         "pool (bit-identical to serial)")
+    sp.add_argument("--workers", type=int, default=4,
+                    help="worker count when --pool is not serial")
     sp.add_argument("--json", action="store_true", help="machine-readable output")
     add_trace(sp)
     sp.set_defaults(func=cmd_compose)
@@ -572,6 +586,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="max execution attempts per request (1 = no retries)")
     sp.add_argument("--no-degrade", action="store_true",
                     help="disable CSR degradation on structural OOM")
+    sp.add_argument("--speculative", action="store_true",
+                    help="serve cache misses the immediate CSR plan while a "
+                         "background compose builds CELL (swapped in when "
+                         "ready)")
     sp.add_argument("--measure-only", action="store_true",
                     help="skip numeric execution, time the kernels only")
     sp.add_argument("--batch", type=int, default=0, metavar="N",

@@ -11,15 +11,33 @@ The pipeline has three stages, mirroring Figure 2:
    cost model of :mod:`~repro.core.cost_model` (Eq. 7), run per partition.
 """
 
-from repro.core.bucket_search import BucketSearchResult, build_buckets, exhaustive_width_search
+from repro.core.bucket_search import (
+    BucketSearchResult,
+    build_buckets,
+    exhaustive_width_search,
+    tune_partition,
+)
 from repro.core.cost_model import (
     PartitionCostProfile,
     bucket_cost,
     matrix_cost_profiles,
+    partition_profile,
     total_cost,
 )
+from repro.core.parallel import (
+    FanoutResult,
+    PartitionOutcome,
+    PoolSpec,
+    compose_partitions,
+    lpt_makespan,
+)
 from repro.core.partition_model import PARTITION_CANDIDATES, PartitionPredictor
-from repro.core.pipeline import ComposePlan, LiteForm
+from repro.core.pipeline import (
+    ComposePlan,
+    IncrementalState,
+    LiteForm,
+    compose_cell_plan,
+)
 from repro.core.selector import FormatSelector
 from repro.core.training import (
     FormatSelectionSample,
@@ -33,14 +51,23 @@ __all__ = [
     "total_cost",
     "PartitionCostProfile",
     "matrix_cost_profiles",
+    "partition_profile",
     "build_buckets",
     "exhaustive_width_search",
+    "tune_partition",
     "BucketSearchResult",
     "FormatSelector",
     "PartitionPredictor",
     "PARTITION_CANDIDATES",
+    "PoolSpec",
+    "FanoutResult",
+    "PartitionOutcome",
+    "compose_partitions",
+    "lpt_makespan",
     "LiteForm",
     "ComposePlan",
+    "IncrementalState",
+    "compose_cell_plan",
     "TrainingData",
     "FormatSelectionSample",
     "PartitionSample",

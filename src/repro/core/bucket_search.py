@@ -67,6 +67,28 @@ def build_buckets(
     return BucketSearchResult(max_exp=lo, cost=float(costs[lo]), evaluations=evals + 1)
 
 
+def tune_partition(
+    profile: PartitionCostProfile,
+    J: int,
+    num_partitions: int = 1,
+    legacy_eq7: bool = False,
+) -> tuple[BucketSearchResult | None, int]:
+    """Tune one partition, handling the empty case uniformly.
+
+    Returns ``(result, width)`` where ``result`` is ``None`` and ``width``
+    is 1 for a partition with no stored elements — the exact convention the
+    serial pipeline, the partition pool, and ``patch_rows`` all share, so
+    every path computes identical widths and identical ``predicted_cost``
+    accumulation inputs.
+    """
+    if not profile.num_nonempty_rows:
+        return None, 1
+    result = build_buckets(
+        profile, J, num_partitions=num_partitions, legacy_eq7=legacy_eq7
+    )
+    return result, 1 << result.max_exp
+
+
 def exhaustive_width_search(
     profile: PartitionCostProfile,
     J: int,

@@ -332,16 +332,29 @@ def matrix_cost_profiles(
     """
     if cells is None:
         cells = split_csr(A, num_partitions)
-    A, bounds, counts, starts = cells
+    bounds = cells[1]
     if len(bounds) != num_partitions:
         raise ValueError(
             f"cells was split into {len(bounds)} partitions, "
             f"expected {num_partitions}"
         )
-    return [
-        PartitionCostProfile.from_cells(counts[:, p], starts[:, p], A.indices)
-        for p in range(len(bounds))
-    ]
+    return [partition_profile(cells, p) for p in range(len(bounds))]
+
+
+def partition_profile(
+    cells: tuple[sp.csr_matrix, list[tuple[int, int]], np.ndarray, np.ndarray],
+    p: int,
+) -> PartitionCostProfile:
+    """Cost profile of one partition of a :func:`split_csr` result.
+
+    The unit the partition pool and ``patch_rows`` rebuild independently —
+    partition ``p``'s profile reads only column ``p`` of the cells arrays
+    plus the shared parent ``indices``, never its siblings.
+    """
+    A, bounds, counts, starts = cells
+    if not 0 <= p < len(bounds):
+        raise ValueError(f"partition index {p} out of range [0, {len(bounds)})")
+    return PartitionCostProfile.from_cells(counts[:, p], starts[:, p], A.indices)
 
 
 def total_cost(profiles: list[PartitionCostProfile], max_exps: list[int], J: int) -> float:

@@ -15,16 +15,15 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.bucket_search import build_buckets
-from repro.core.cost_model import matrix_cost_profiles
+from repro.core.parallel import PoolSpec, compose_partitions
 from repro.core.partition_model import PartitionPredictor
 from repro.core.selector import FormatSelector
 from repro.core.training import TrainingData
-from repro.formats.base import SparseFormat, as_csr
+from repro.formats.base import VALUE_DTYPE, SparseFormat, as_csr
 from repro.matrices.features import format_selection_features
 from repro.obs import get_registry, get_tracer
 from repro.formats.bcsr import BCSRFormat
-from repro.formats.cell import CELLFormat, split_csr
+from repro.formats.cell import CELLFormat, split_csr, touched_partitions
 from repro.formats.csr import CSRFormat
 from repro.gpu.device import SimulatedDevice
 from repro.gpu.stats import Measurement
@@ -49,6 +48,29 @@ class OverheadBreakdown:
 
 
 @dataclass
+class IncrementalState:
+    """What ``patch_rows`` needs to rebuild a CELL plan partition-by-partition.
+
+    Captured during compose: the partitioning geometry, the per-(row,
+    partition) stored-element ``counts`` from :func:`partition_cells`
+    (int32 — values are bounded by the column count), and the tuned
+    per-partition widths/costs.  ``patched`` records which partitions the
+    most recent ``patch_rows`` call actually rebuilt (empty after a full
+    compose) — tests and benchmarks read it to verify the delta stayed a
+    delta.
+    """
+
+    J: int
+    num_partitions: int
+    block_multiple: int
+    bounds: list[tuple[int, int]]
+    counts: np.ndarray
+    widths: list[int]
+    costs: list[float | None]
+    patched: tuple[int, ...] = ()
+
+
+@dataclass
 class ComposePlan:
     """Outcome of ``LiteForm.compose`` for one (matrix, J) pair."""
 
@@ -61,6 +83,110 @@ class ComposePlan:
         default_factory=lambda: OverheadBreakdown(0.0, 0.0, 0.0, 0.0)
     )
     predicted_cost: float | None = None
+    incremental: IncrementalState | None = None
+
+    def patch_rows(
+        self,
+        A: sp.spmatrix,
+        changed_rows,
+        *,
+        pool: PoolSpec | None = None,
+    ) -> "ComposePlan":
+        """Incremental recompose: rebuild only the partitions ``changed_rows``
+        touch and reuse every other partition's buckets unchanged.
+
+        ``A`` is the *updated* matrix (same shape as the plan's); the
+        returned plan is bit-identical to a full
+        :func:`compose_cell_plan` of ``A`` at this plan's partition count,
+        width search included — partitions no updated row stores elements
+        in (before or after the update) depend only on unchanged rows, so
+        their tuned widths, buckets, and costs carry over verbatim, while
+        touched partitions re-run profile -> width search -> build.
+
+        Limits (see docs/COMPOSE.md): the partition count and ``J`` are
+        frozen at compose time — the format selector and partition
+        predictor are *not* re-consulted, so a matrix that drifts far from
+        its composed structure should be recomposed from scratch.  Raises
+        ``ValueError`` for non-CELL plans or a shape change.
+        """
+        if not self.use_cell or self.incremental is None:
+            raise ValueError(
+                "patch_rows requires a CELL plan composed with incremental state"
+            )
+        state = self.incremental
+        if not sp.issparse(A):
+            A = as_csr(A)
+        elif (
+            A.format != "csr"
+            or A.dtype != VALUE_DTYPE
+            or not A.has_canonical_format
+        ):
+            A = as_csr(A)
+        if A.shape != self.fmt.shape:
+            raise ValueError(
+                f"patch_rows cannot change the matrix shape: plan has "
+                f"{self.fmt.shape}, update has {A.shape}"
+            )
+        changed = np.unique(np.asarray(changed_rows, dtype=np.int64))
+        if changed.size and (changed[0] < 0 or changed[-1] >= A.shape[0]):
+            raise ValueError("changed row index out of range")
+        t0 = time.perf_counter()
+        P = state.num_partitions
+        cells = split_csr(A, P)
+        A, bounds, counts, _starts = cells
+        affected = touched_partitions(state.counts, counts, changed)
+        with get_tracer().span(
+            "patch_rows", changed_rows=int(changed.size), rebuilt=int(affected.size)
+        ):
+            fan = compose_partitions(
+                A,
+                P,
+                state.J,
+                block_multiple=state.block_multiple,
+                pool=pool,
+                cells=cells,
+                only=[int(p) for p in affected],
+            )
+            rebuilt = {o.index: o for o in fan.outcomes}
+            partitions, widths, costs = [], [], []
+            for p in range(P):
+                if p in rebuilt:
+                    o = rebuilt[p]
+                    partitions.append(o.partition)
+                    widths.append(o.width)
+                    costs.append(o.result.cost if o.result else None)
+                else:
+                    partitions.append(self.fmt.partitions[p])
+                    widths.append(state.widths[p])
+                    costs.append(state.costs[p])
+            fmt = CELLFormat(self.fmt.shape, partitions, int(A.nnz))
+        elapsed = time.perf_counter() - t0
+        # Same left-to-right accumulation as a full compose.
+        predicted = sum(c for c in costs if c is not None)
+        tune_frac = fan.tune_fraction if affected.size else 0.5
+        plan = ComposePlan(
+            use_cell=True,
+            fmt=fmt,
+            kernel=self.kernel,
+            num_partitions=P,
+            max_widths=widths,
+            overhead=OverheadBreakdown(
+                0.0, 0.0, elapsed * tune_frac, elapsed * (1.0 - tune_frac)
+            ),
+            predicted_cost=predicted,
+            incremental=IncrementalState(
+                J=state.J,
+                num_partitions=P,
+                block_multiple=state.block_multiple,
+                bounds=bounds,
+                counts=counts.astype(np.int32),
+                widths=widths,
+                costs=costs,
+                patched=tuple(int(p) for p in affected),
+            ),
+        )
+        _record_compose(plan)
+        return plan
 
 
 def _blockwise_occupancy(A: sp.csr_matrix, block: int = 8) -> float:
@@ -97,6 +223,75 @@ def _record_compose(plan: "ComposePlan") -> None:
     _COMPOSE_OVERHEAD_MS.observe(plan.overhead.total_s * 1e3)
 
 
+def compose_cell_plan(
+    A: sp.csr_matrix,
+    num_partitions: int,
+    J: int,
+    *,
+    block_multiple: int = 2,
+    pool: PoolSpec | None = None,
+) -> ComposePlan:
+    """Stages 2b-3 of Figure 2 for an already-canonical CSR matrix at a
+    fixed partition count: split, per-partition width search, bucket build.
+
+    This is the compose path both the serial pipeline and the partition
+    pool share — with ``pool`` unset (or ``kind="serial"``) the partitions
+    run inline in index order; with a parallel :class:`PoolSpec` they fan
+    out, producing a bit-identical plan (same buckets, same widths, same
+    ``predicted_cost`` float accumulation).  The returned plan carries the
+    :class:`IncrementalState` that :meth:`ComposePlan.patch_rows` consumes.
+    The ``selection``/``partition`` overhead fields are zero — callers
+    that ran those stages (``LiteForm.compose_csr``) fill them in.
+    """
+    tracer = get_tracer()
+    t0 = time.perf_counter()
+    span_attrs = {"num_partitions": num_partitions}
+    if pool is not None and pool.parallel:
+        span_attrs["pool"] = pool.kind
+        span_attrs["workers"] = pool.workers
+    with tracer.span("tune_width", **span_attrs):
+        cells = split_csr(A, num_partitions)
+        fan = compose_partitions(
+            A,
+            num_partitions,
+            J,
+            block_multiple=block_multiple,
+            pool=pool,
+            cells=cells,
+        )
+        widths = fan.widths
+        predicted = fan.predicted_cost
+    t1 = time.perf_counter()
+    with tracer.span("build", format="CELL"):
+        fmt = fan.to_format()
+    t2 = time.perf_counter()
+    # The fan-out fuses tuning and building per partition; apportion the
+    # measured wall between the two overhead stages by the tasks' own
+    # tune/build split so the Fig. 8-9 accounting keeps its meaning.
+    frac = fan.tune_fraction
+    fused = t1 - t0
+    search_s = fused * frac
+    build_s = fused * (1.0 - frac) + (t2 - t1)
+    return ComposePlan(
+        use_cell=True,
+        fmt=fmt,
+        kernel=CELLSpMM(),
+        num_partitions=num_partitions,
+        max_widths=widths,
+        overhead=OverheadBreakdown(0.0, 0.0, search_s, build_s),
+        predicted_cost=predicted,
+        incremental=IncrementalState(
+            J=J,
+            num_partitions=num_partitions,
+            block_multiple=block_multiple,
+            bounds=fan.bounds,
+            counts=fan.counts.astype(np.int32),
+            widths=list(widths),
+            costs=fan.costs,
+        ),
+    )
+
+
 class LiteForm:
     """Lightweight automatic format composition for SpMM.
 
@@ -115,12 +310,14 @@ class LiteForm:
         device: SimulatedDevice | None = None,
         block_multiple: int = 2,
         bcsr_occupancy_threshold: float = 0.5,
+        pool: PoolSpec | None = None,
     ):
         self.selector = selector or FormatSelector()
         self.partition_model = partition_model or PartitionPredictor()
         self.device = device or SimulatedDevice()
         self.block_multiple = block_multiple
         self.bcsr_occupancy_threshold = bcsr_occupancy_threshold
+        self.pool = pool
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -164,6 +361,10 @@ class LiteForm:
         t0 = time.perf_counter()
         if force_cell is not None:
             use_cell = force_cell
+            # The selector did not run: zero its public timing attribute so
+            # overhead accounting (Figs. 8-9, ablations) doesn't attribute
+            # the *previous* matrix's inference time to this compose.
+            self.selector.last_inference_s = 0.0
         else:
             with tracer.span("features", nnz=A.nnz):
                 feats = format_selection_features(A)[None, :]
@@ -201,37 +402,15 @@ class LiteForm:
             part_span.set(num_partitions=num_partitions)
         t2 = time.perf_counter()
 
-        with tracer.span("tune_width", num_partitions=num_partitions):
-            # One bulk split shared by tune and build below.
-            cells = split_csr(A, num_partitions)
-            profiles = matrix_cost_profiles(A, num_partitions, cells=cells)
-            results = [
-                build_buckets(p, J, num_partitions=num_partitions)
-                if p.num_nonempty_rows
-                else None
-                for p in profiles
-            ]
-            widths = [1 << r.max_exp if r else 1 for r in results]
-            predicted = sum(r.cost for r in results if r)
-        t3 = time.perf_counter()
-
-        with tracer.span("build", format="CELL"):
-            fmt = CELLFormat.from_csr(
-                A,
-                num_partitions=num_partitions,
-                max_widths=widths,
-                block_multiple=self.block_multiple,
-                cells=cells,
-            )
-        t4 = time.perf_counter()
-        plan = ComposePlan(
-            use_cell=True,
-            fmt=fmt,
-            kernel=CELLSpMM(),
-            num_partitions=num_partitions,
-            max_widths=widths,
-            overhead=OverheadBreakdown(t1 - t0, t2 - t1, t3 - t2, t4 - t3),
-            predicted_cost=predicted,
+        plan = compose_cell_plan(
+            A,
+            num_partitions,
+            J,
+            block_multiple=self.block_multiple,
+            pool=self.pool,
+        )
+        plan.overhead = OverheadBreakdown(
+            t1 - t0, t2 - t1, plan.overhead.search_s, plan.overhead.build_s
         )
         _record_compose(plan)
         return plan

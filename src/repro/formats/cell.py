@@ -224,6 +224,33 @@ def split_csr(
     return A, bounds, counts, starts
 
 
+def touched_partitions(
+    old_counts: np.ndarray, new_counts: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """Partitions whose buckets a row update may have changed.
+
+    ``old_counts``/``new_counts`` are ``partition_cells`` count matrices of
+    shape ``(num_rows, P)`` before and after the update, ``rows`` the
+    updated row indices.  A partition is touched when any updated row
+    stores (or stored) elements in it — conservative on purpose: a row
+    rewritten with identical columns but new values keeps its counts, yet
+    its values live in the partition's buckets, so the partition must
+    rebuild.  Partitions where every updated row has no elements before or
+    after are untouched: their buckets gather only from other rows' runs.
+    """
+    if old_counts.shape != new_counts.shape:
+        raise ValueError(
+            f"count shapes differ: {old_counts.shape} vs {new_counts.shape}"
+        )
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if rows.min() < 0 or rows.max() >= old_counts.shape[0]:
+        raise ValueError("row index out of range")
+    mask = (old_counts[rows] > 0) | (new_counts[rows] > 0)
+    return np.nonzero(mask.any(axis=0))[0].astype(np.int64)
+
+
 def _fold_chunks(
     lengths: np.ndarray, max_width: int | None
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:

@@ -21,6 +21,8 @@ from repro.matrices.generators import (
     diagonal_dominant_matrix,
     mixture_matrix,
     power_law_graph,
+    random_row_update,
+    replace_rows,
     rmat_graph,
     uniform_random_matrix,
     with_dense_rows,
@@ -41,6 +43,8 @@ __all__ = [
     "diagonal_dominant_matrix",
     "mixture_matrix",
     "power_law_graph",
+    "random_row_update",
+    "replace_rows",
     "rmat_graph",
     "uniform_random_matrix",
     "with_dense_rows",

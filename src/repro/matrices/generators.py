@@ -254,6 +254,115 @@ def with_dense_rows(
     return as_csr(A + extra)
 
 
+def replace_rows(
+    A: sp.csr_matrix,
+    rows: np.ndarray,
+    cols_per_row: list[np.ndarray],
+    vals_per_row: list[np.ndarray],
+) -> sp.csr_matrix:
+    """Return a copy of ``A`` with the listed rows replaced wholesale.
+
+    Each entry of ``cols_per_row`` / ``vals_per_row`` gives the complete
+    new contents of the corresponding row (an empty array empties it).
+    The result is a fresh canonical float32 CSR matrix; ``A`` is not
+    modified.  This is the mutation primitive behind
+    :func:`random_row_update` and the incremental-recompose
+    (``ComposePlan.patch_rows``) delta-replay tests.
+    """
+    A = as_csr(A)
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size != len(cols_per_row) or rows.size != len(vals_per_row):
+        raise ValueError(
+            f"rows ({rows.size}), cols_per_row ({len(cols_per_row)}) and "
+            f"vals_per_row ({len(vals_per_row)}) must have equal lengths"
+        )
+    if rows.size != np.unique(rows).size:
+        raise ValueError("rows must be unique")
+    if rows.size and (rows.min() < 0 or rows.max() >= A.shape[0]):
+        raise ValueError(f"rows out of range for {A.shape[0]} rows")
+    coo = A.tocoo()
+    keep = ~np.isin(coo.row, rows)
+    r = [coo.row[keep]]
+    c = [coo.col[keep]]
+    v = [coo.data[keep]]
+    for row, cols, vals in zip(rows, cols_per_row, vals_per_row):
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=VALUE_DTYPE)
+        if cols.size != vals.size:
+            raise ValueError(f"row {row}: {cols.size} cols but {vals.size} vals")
+        if cols.size and (cols.min() < 0 or cols.max() >= A.shape[1]):
+            raise ValueError(f"row {row}: columns out of range")
+        if cols.size != np.unique(cols).size:
+            raise ValueError(f"row {row}: duplicate columns")
+        r.append(np.full(cols.size, row, dtype=np.int64))
+        c.append(cols)
+        v.append(vals)
+    # coo -> csr canonicalizes (sorts indices within rows, sums dups).
+    B = sp.csr_matrix(
+        (np.concatenate(v), (np.concatenate(r), np.concatenate(c))),
+        shape=A.shape,
+        dtype=VALUE_DTYPE,
+    )
+    return as_csr(B)
+
+
+def random_row_update(
+    A: sp.csr_matrix,
+    rng: np.random.Generator,
+    num_rows: int = 4,
+    empty_fraction: float = 0.25,
+    grow_fraction: float = 0.25,
+    band: int | None = None,
+) -> tuple[np.ndarray, sp.csr_matrix]:
+    """Seeded random mutation of a few rows; returns ``(changed_rows, A')``.
+
+    Per changed row one of three updates is drawn: *empty* the row
+    (probability ``empty_fraction``), *grow* it to up to 4x its current
+    length (``grow_fraction`` — long enough to cross width-bucket and
+    fold boundaries), or *rewrite* it at roughly the same length.  The
+    mix is exactly the update stream the incremental-recompose path must
+    survive: rows vanishing from partitions, rows newly spilling into
+    the folded max-width bucket, and plain value/pattern churn.
+
+    With ``band=k`` replacement columns are drawn from the diagonal band
+    ``[row - k, row + k]`` (stencil-style updates), keeping each change
+    local to the partitions the row already lives in — the regime where
+    incremental recompose pays off.  Default draws columns uniformly.
+    """
+    A = as_csr(A)
+    n_rows, n_cols = A.shape
+    num_rows = min(int(num_rows), n_rows)
+    if num_rows < 1:
+        raise ValueError("num_rows must be >= 1")
+    if band is not None and band < 1:
+        raise ValueError(f"band must be >= 1, got {band}")
+    rows = np.sort(rng.choice(n_rows, size=num_rows, replace=False))
+    lengths = np.diff(A.indptr)
+    cols_per_row: list[np.ndarray] = []
+    vals_per_row: list[np.ndarray] = []
+    for row in rows:
+        if band is None:
+            lo, hi = 0, n_cols
+        else:
+            lo = max(0, int(row) - band)
+            hi = min(n_cols, int(row) + band + 1)
+        window = hi - lo
+        draw = rng.random()
+        if draw < empty_fraction:
+            new_len = 0
+        elif draw < empty_fraction + grow_fraction:
+            base = max(1, int(lengths[row]))
+            new_len = min(window, base * int(rng.integers(2, 5)))
+        else:
+            new_len = min(window, max(1, int(lengths[row])))
+        cols = lo + np.sort(rng.choice(window, size=new_len, replace=False))
+        vals = rng.standard_normal(new_len).astype(VALUE_DTYPE)
+        vals[vals == 0] = 1.0
+        cols_per_row.append(cols)
+        vals_per_row.append(vals)
+    return rows, replace_rows(A, rows, cols_per_row, vals_per_row)
+
+
 def mixture_matrix(
     n: int,
     avg_degree: float = 12.0,

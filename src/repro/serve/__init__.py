@@ -29,6 +29,11 @@ stacked column-wise, results split back bit-identically), dispatches
 earliest-deadline-first with queueing delay charged against deadlines,
 and sheds arrivals to the degraded path when its bounded queue is full.
 
+With ``SpMMServer(speculative=True)`` a cache miss is served the CSR
+fallback immediately while the full plan composes on a background
+executor and is swapped into the cache by the serving thread
+(docs/COMPOSE.md).
+
 See docs/SERVING.md for cache keying, eviction, deadline, batching, and
 resilience semantics.
 """

@@ -153,6 +153,7 @@ class ClusterFrontend:
         max_queue: int | None = None,
         retry: RetryPolicy | None = None,
         degrade_on_oom: bool = True,
+        speculative: bool = False,
         reroute_on_failure: bool = True,
         spill_dir: str | Path | None = None,
         seed: int = 0,
@@ -198,6 +199,7 @@ class ClusterFrontend:
         self.max_queue = max_queue
         self.retry = retry or RetryPolicy()
         self.degrade_on_oom = degrade_on_oom
+        self.speculative = speculative
         self.reroute_on_failure = reroute_on_failure
         self.metrics = metrics or ClusterMetrics()
         if slo is True:
@@ -267,6 +269,7 @@ class ClusterFrontend:
             devices=devices,
             retry=self.retry,
             degrade_on_oom=self.degrade_on_oom,
+            speculative=self.speculative,
         )
         scheduler = None
         if self.batch:
@@ -780,7 +783,19 @@ class ClusterFrontend:
                 if (index + 1) % self.REPLAY_CHUNK == 0:
                     self.drain()
             self.drain()
+            if self.speculative:
+                self.wait_for_speculation()
         return self.metrics
+
+    def wait_for_speculation(self, timeout: float | None = None) -> int:
+        """Settle every live shard's in-flight background composes and
+        apply their swaps (see :meth:`SpMMServer.wait_for_speculation`);
+        returns the total swaps applied across the fleet.  Called once at
+        the end of :meth:`replay` — never per drain, which would serialize
+        the composes the speculation exists to overlap."""
+        return sum(
+            s.server.wait_for_speculation(timeout=timeout) for s in self._live()
+        )
 
     # -- fleet accounting ----------------------------------------------
     @property
@@ -811,6 +826,7 @@ class ClusterFrontend:
 
     def snapshot(self) -> dict:
         """Cluster scoreboard plus a per-shard breakdown (JSON-friendly)."""
+        fleet = [s.server.metrics for s in self._shards.values()]
         out = {
             "cluster": {
                 **self.metrics.snapshot(),
@@ -819,6 +835,9 @@ class ClusterFrontend:
                 "makespan_ms": self.makespan_ms,
                 "throughput_rps": self.aggregate_throughput_rps,
                 "scaling_efficiency": self.scaling_efficiency,
+                "speculative_misses": sum(m.speculative_misses for m in fleet),
+                "speculative_swaps": sum(m.speculative_swaps for m in fleet),
+                "speculative_skipped": sum(m.speculative_skipped for m in fleet),
             },
             "slo": self.slo.snapshot() if self.slo is not None else None,
             "shards": [],

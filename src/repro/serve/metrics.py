@@ -126,6 +126,14 @@ class ServerMetrics:
     device_lost: int = 0
     #: Circuit-breaker trips (closed/half-open -> open) across the pool.
     breaker_open: int = 0
+    #: Cache misses served the immediate CSR plan while a background
+    #: compose ran (speculative recompose).
+    speculative_misses: int = 0
+    #: Background composes swapped into the plan cache when ready.
+    speculative_swaps: int = 0
+    #: Background composes discarded instead of swapped (the key's entry
+    #: was pinned by a structural-OOM degrade, or the compose errored).
+    speculative_skipped: int = 0
     #: Wall-clock seconds spent composing (cache misses).
     compose_spent_s: float = 0.0
     #: Wall-clock seconds a compose-per-request server would have spent on
@@ -173,6 +181,15 @@ class ServerMetrics:
              "Device-lost errors observed across the pool", "device_lost"),
             ("serve_breaker_open_total",
              "Circuit-breaker trips across the device pool", "breaker_open"),
+            ("serve_speculative_misses_total",
+             "Misses served the immediate CSR plan during a speculative "
+             "recompose window", "speculative_misses"),
+            ("serve_speculative_swaps_total",
+             "Background composes swapped into the plan cache",
+             "speculative_swaps"),
+            ("serve_speculative_skipped_total",
+             "Background composes discarded (OOM-pinned key or compose "
+             "error)", "speculative_skipped"),
             ("serve_compose_spent_seconds", "Wall-clock seconds spent composing",
              "compose_spent_s"),
             ("serve_compose_saved_seconds",
@@ -237,6 +254,9 @@ class ServerMetrics:
             "oom_degraded": self.oom_degraded,
             "device_lost": self.device_lost,
             "breaker_open": self.breaker_open,
+            "speculative_misses": self.speculative_misses,
+            "speculative_swaps": self.speculative_swaps,
+            "speculative_skipped": self.speculative_skipped,
             "availability": self.availability,
             "compose_spent_s": self.compose_spent_s,
             "compose_saved_s": self.compose_saved_s,
@@ -267,6 +287,12 @@ class ServerMetrics:
             "request latency ms  "
             f"p50={t['p50']:.3f} p95={t['p95']:.3f} p99={t['p99']:.3f} max={t['max']:.3f}",
         ]
+        if self.speculative_misses or self.speculative_swaps or self.speculative_skipped:
+            lines.append(
+                f"speculative         {self.speculative_misses} misses, "
+                f"{self.speculative_swaps} swaps, "
+                f"{self.speculative_skipped} skipped"
+            )
         if self.failed:
             f = self.failed_ms.summary()
             lines.append(

@@ -168,7 +168,13 @@ class PlanCache:
                 f"{path} has incompatible cache tag {payload['magic']!r} "
                 f"(expected {CACHE_MAGIC!r})"
             )
-        cache = cls(max_bytes=max_bytes or payload["max_bytes"])
+        # "No override" is spelled None, not falsy: an explicit
+        # ``max_bytes=0`` must reach the constructor and raise the same
+        # ValueError it would anywhere else, not silently fall back to
+        # the saved budget.
+        if max_bytes is None:
+            max_bytes = payload["max_bytes"]
+        cache = cls(max_bytes=max_bytes)
         for key, plan, overhead_s in payload["entries"]:
             cache.put(key, plan, compose_overhead_s=overhead_s)
         # Warm-starting is not traffic: reset *every* counter the loop

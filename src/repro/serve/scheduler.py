@@ -338,6 +338,11 @@ class Scheduler:
         for request in requests:
             self.submit(request)
         self.drain()
+        if self.server.speculative:
+            # Settle outstanding background composes once per replay (not
+            # per drain — blocking inside the loop would serialize the
+            # speculation the feature exists to overlap).
+            self.server.wait_for_speculation()
         return self.metrics
 
     # ------------------------------------------------------------------

@@ -40,6 +40,8 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -138,6 +140,10 @@ class SpMMResponse:
     #: The scheduler's bounded queue was full; this request was shed to
     #: the degraded CSR path instead of queueing.
     shed: bool = False
+    #: Served the immediate CSR plan of a speculative-recompose window: a
+    #: background compose was (or already had been) kicked off for this
+    #: key and will be swapped into the cache when ready.
+    speculative: bool = False
     #: Trace id the request was served under (None when untraced).
     trace_id: str | None = None
 
@@ -189,6 +195,10 @@ class SpMMServer:
     breaker_threshold: int = 3
     #: Seconds an open breaker waits before admitting a probe request.
     breaker_cooldown_s: float = 1.0
+    #: Speculative recompose: a cache miss serves the CSR fallback plan
+    #: immediately while a background thread composes the full plan, which
+    #: is swapped into the cache (on the serving thread) when ready.
+    speculative: bool = False
 
     def __post_init__(self) -> None:
         if self.devices is None:
@@ -212,6 +222,16 @@ class SpMMServer:
         self._next_ticket = 0
         self._pending: deque[tuple[int, SpMMRequest]] = deque()
         self._completed: dict[int, SpMMResponse] = {}
+        #: key -> (background compose future, matrix nnz).
+        self._inflight: dict[str, tuple[Future, int]] = {}
+        #: Keys whose cache entry holds a structurally-OOM-degraded CSR
+        #: plan (the PR 3 pin): background swaps must never overwrite it.
+        self._oom_pinned: set[str] = set()
+        self._spec_pool = (
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix="speculate")
+            if self.speculative
+            else None
+        )
 
     # ------------------------------------------------------------------
     def estimate_compose_s(self, nnz: int) -> float | None:
@@ -377,6 +397,66 @@ class SpMMServer:
             "degraded_oom": degraded_oom,
         }
 
+    # -- speculative recompose -----------------------------------------
+    def _speculate(self, A: sp.csr_matrix, key: str) -> None:
+        """Kick off a background compose for ``key`` (idempotent while one
+        is already in flight)."""
+        if key in self._inflight or self._spec_pool is None:
+            return
+        self._inflight[key] = (
+            self._spec_pool.submit(
+                self.liteform.compose_csr, A, max(1, self._plan_J(key))
+            ),
+            int(A.nnz),
+        )
+
+    def _apply_ready_swaps(self) -> int:
+        """Swap completed background composes into the plan cache.
+
+        Runs on the serving thread only — the :class:`PlanCache` is not
+        thread-safe, and applying swaps here (instead of from the worker
+        thread) serializes them against the structural-OOM degrade pin:
+        a key whose entry was pinned to its CSR fallback after a
+        structural OOM never gets the doomed CELL plan swapped back in
+        (counted as ``speculative_skipped``).  Returns swaps applied.
+        """
+        if not self._inflight:
+            return 0
+        m = self.metrics
+        tracer = get_tracer()
+        applied = 0
+        for key in [k for k, (f, _) in self._inflight.items() if f.done()]:
+            future, nnz = self._inflight.pop(key)
+            try:
+                plan = future.result()
+            except Exception:
+                m.speculative_skipped += 1
+                continue
+            if key in self._oom_pinned:
+                with tracer.span("speculative_swap", key=key, skipped=True):
+                    m.speculative_skipped += 1
+                continue
+            with tracer.span("speculative_swap", key=key, nnz=nnz):
+                self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
+            self._observe_compose(nnz, plan.overhead.total_s)
+            m.compose_spent_s += plan.overhead.total_s
+            m.speculative_swaps += 1
+            applied += 1
+        return applied
+
+    def wait_for_speculation(self, timeout: float | None = None) -> int:
+        """Block until in-flight background composes finish (bounded by
+        ``timeout`` seconds) and apply their swaps; returns swaps applied.
+
+        The serving path itself never blocks — it applies whatever is
+        ready at each request.  Callers that need a settled cache (replay
+        tails, tests, shutdown) call this explicitly.
+        """
+        futures = [f for f, _ in self._inflight.values()]
+        if futures:
+            futures_wait(futures, timeout=timeout)
+        return self._apply_ready_swaps()
+
     # ------------------------------------------------------------------
     def _prepare_plan(
         self,
@@ -385,24 +465,41 @@ class SpMMServer:
         t0: float,
         effective_deadline_ms: float | None,
         force_degrade: bool,
-    ) -> tuple[ComposePlan, bool, bool, float]:
+    ) -> tuple[ComposePlan, bool, bool, bool, float]:
         """Cache lookup → admission → compose-or-fallback, shared by the
         single-request and batched paths.
 
-        Returns ``(plan, cache_hit, admission_degraded, overhead_s)``.
-        ``effective_deadline_ms`` is the request's (or batch's tightest)
-        deadline with queueing delay already subtracted; ``force_degrade``
-        (backpressure shedding) skips the pipeline on a miss outright.
+        Returns ``(plan, cache_hit, admission_degraded, speculative,
+        overhead_s)``.  ``effective_deadline_ms`` is the request's (or
+        batch's tightest) deadline with queueing delay already subtracted;
+        ``force_degrade`` (backpressure shedding) skips the pipeline on a
+        miss outright.  With :attr:`speculative` enabled, a miss returns
+        the CSR fallback immediately and composes in the background
+        (unless the key is OOM-pinned, in which case the pin is restored).
         """
         m = self.metrics
         tracer = get_tracer()
+        if self._inflight:
+            self._apply_ready_swaps()
         entry = self.cache.get(key)
         if entry is not None:
             m.cache_hits += 1
             m.compose_saved_s += entry.compose_overhead_s
-            return entry.plan, True, False, time.perf_counter() - t0
+            return entry.plan, True, False, False, time.perf_counter() - t0
 
         m.cache_misses += 1
+        if self.speculative and not force_degrade:
+            pinned = key in self._oom_pinned
+            with tracer.span("speculative_build", nnz=A.nnz, pinned=pinned):
+                plan = self._fallback_plan(A)
+            if pinned:
+                # A structural OOM already proved the full plan cannot fit
+                # this working set; restore the degraded pin instead of
+                # paying a background compose that would be discarded.
+                self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
+            else:
+                self._speculate(A, key)
+            return plan, False, False, True, time.perf_counter() - t0
         with tracer.span("admission") as adm_span:
             estimate = self.estimate_compose_s(A.nnz)
             degraded = force_degrade or (
@@ -421,13 +518,13 @@ class SpMMServer:
             # degraded plans are intentionally NOT cached: a later
             # best-effort request for the same matrix should get the
             # full pipeline, not a pinned fallback.
-            return plan, False, True, time.perf_counter() - t0
+            return plan, False, True, False, time.perf_counter() - t0
         with tracer.span("compose", nnz=A.nnz):
             plan = self.liteform.compose_csr(A, max(1, self._plan_J(key)))
         self._observe_compose(A.nnz, plan.overhead.total_s)
         m.compose_spent_s += plan.overhead.total_s
         self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
-        return plan, False, False, time.perf_counter() - t0
+        return plan, False, False, False, time.perf_counter() - t0
 
     @staticmethod
     def _plan_J(key: str) -> int:
@@ -477,11 +574,13 @@ class SpMMServer:
                 if request.deadline_ms is None
                 else request.deadline_ms - queue_wait_ms
             )
-            plan, cache_hit, degraded, overhead_s = self._prepare_plan(
+            plan, cache_hit, degraded, speculative, overhead_s = self._prepare_plan(
                 A, key, t0, effective_deadline, force_degrade
             )
             if degraded:
                 m.degraded += 1
+            if speculative:
+                m.speculative_misses += 1
 
             outcome = self._execute(A, plan, request.B, request.J)
             plan = outcome["plan"]
@@ -490,8 +589,10 @@ class SpMMServer:
             if outcome["degraded_oom"] and not failed:
                 # Pin the degraded CSR plan under this key: later requests
                 # for the same (matrix, J) must not re-pay the structural
-                # OOM and the rebuild on every hit.
+                # OOM and the rebuild on every hit.  The pin also blocks
+                # any in-flight speculative swap for this key.
                 self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
+                self._oom_pinned.add(key)
             exec_ms = measurement.time_ms if measurement is not None else 0.0
 
             overhead_ms = overhead_s * 1e3
@@ -514,13 +615,14 @@ class SpMMServer:
                 m.observe_latency(exec_ms, latency_ms)
             if failed:
                 status = ResponseStatus.FAILED
-            elif degraded or outcome["degraded_oom"]:
+            elif degraded or outcome["degraded_oom"] or speculative:
                 status = ResponseStatus.DEGRADED
             else:
                 status = ResponseStatus.OK
             req_span.set(
                 cache_hit=cache_hit,
                 status=status.value,
+                speculative=speculative,
                 deadline_missed=deadline_missed,
                 sim_exec_ms=exec_ms,
             )
@@ -552,6 +654,7 @@ class SpMMServer:
             degraded_oom=outcome["degraded_oom"],
             queue_wait_ms=queue_wait_ms,
             shed=shed,
+            speculative=speculative,
             trace_id=trace_id,
         )
 
@@ -666,11 +769,13 @@ class SpMMServer:
                 if r.deadline_ms is not None
             ]
             effective_deadline = min(deadlines) if deadlines else None
-            plan, cache_hit, degraded, overhead_s = self._prepare_plan(
+            plan, cache_hit, degraded, speculative, overhead_s = self._prepare_plan(
                 A, key, t0, effective_deadline, False
             )
             if degraded:
                 m.degraded += n
+            if speculative:
+                m.speculative_misses += n
 
             if all(numeric):
                 B = np.hstack([r.B for r in requests])
@@ -682,6 +787,7 @@ class SpMMServer:
             failed = outcome["failed"]
             if outcome["degraded_oom"] and not failed:
                 self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
+                self._oom_pinned.add(key)
             exec_ms = measurement.time_ms if measurement is not None else 0.0
             overhead_ms = overhead_s * 1e3
             batch_span.set(
@@ -714,7 +820,7 @@ class SpMMServer:
                 m.observe_latency(exec_ms, latency_ms)
                 status = (
                     ResponseStatus.DEGRADED
-                    if degraded or outcome["degraded_oom"]
+                    if degraded or outcome["degraded_oom"] or speculative
                     else ResponseStatus.OK
                 )
             trace_id = request.ctx.trace_id if request.ctx is not None else None
@@ -747,6 +853,7 @@ class SpMMServer:
                     degraded_oom=outcome["degraded_oom"],
                     batch_size=n,
                     queue_wait_ms=wait,
+                    speculative=speculative,
                     trace_id=trace_id,
                 )
             )
@@ -761,6 +868,10 @@ class SpMMServer:
         with get_tracer().span("replay", requests=len(requests)):
             for request in requests:
                 self.serve(request)
+            if self.speculative:
+                # Settle outstanding background composes so the returned
+                # scoreboard (swap counters, cache stats) is stable.
+                self.wait_for_speculation()
         return self.metrics
 
     # ------------------------------------------------------------------

@@ -80,6 +80,16 @@ class TestLiteFormPipeline:
         assert plan.use_cell
         assert plan.num_partitions == 1
 
+    def test_force_cell_resets_stale_inference_time(self, trained):
+        """Regression: ``force_cell`` skips the selector, so the previous
+        compose's ``last_inference_s`` must not leak into this plan's
+        overhead attribution (Figures 8-9 read it per compose)."""
+        lf, _ = trained
+        lf.compose(power_law_graph(300, 6, seed=4), 32)  # runs the selector
+        assert lf.selector.last_inference_s > 0
+        lf.compose(power_law_graph(200, 5, seed=7), 32, force_cell=True)
+        assert lf.selector.last_inference_s == 0.0
+
     def test_plan_fields(self, trained):
         lf, _ = trained
         A = power_law_graph(500, 8, seed=2)

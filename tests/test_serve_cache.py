@@ -112,6 +112,29 @@ class TestSpill:
             PlanCache.load(path)
         assert CACHE_MAGIC != "repro-plancache-v0"
 
+    def test_load_keeps_saved_budget_when_unspecified(self, tmp_path, plans):
+        cache = PlanCache(max_bytes=12345678)
+        for k, p in plans.items():
+            cache.put(k, p)
+        path = tmp_path / "cache.pkl"
+        cache.save(path)
+        assert PlanCache.load(path).max_bytes == 12345678
+        assert PlanCache.load(path, max_bytes=None).max_bytes == 12345678
+
+    def test_load_rejects_explicit_invalid_budget(self, tmp_path, plans):
+        """Regression: ``max_bytes=0`` is falsy but is an explicit
+        override, not "use the saved budget" — it must raise the same
+        ValueError the constructor raises everywhere else."""
+        cache = PlanCache(max_bytes=1 << 30)
+        for k, p in plans.items():
+            cache.put(k, p)
+        path = tmp_path / "cache.pkl"
+        cache.save(path)
+        with pytest.raises(ValueError, match="max_bytes must be >= 1"):
+            PlanCache.load(path, max_bytes=0)
+        with pytest.raises(ValueError, match="max_bytes must be >= 1"):
+            PlanCache.load(path, max_bytes=-4)
+
     def test_load_respects_smaller_budget(self, tmp_path, plans):
         cache = PlanCache(max_bytes=1 << 30)
         for k, p in plans.items():
