@@ -390,6 +390,66 @@ def _bench_serve(repeats: int) -> Iterator[Metric]:
     yield Metric("serve.cache_hits", float(last_metrics.cache_hits), "exact")
 
 
+def _bench_gnn(repeats: int) -> Iterator[Metric]:
+    """GNN graph-request replay: wall time, deterministic reuse counters,
+    an output checksum (bit-drift guard over the chained stages), and the
+    amortization ratio versus per-stage recomposition (the live Fig. 8)."""
+    from repro.matrices.gnn import GNNWorkloadSpec, generate_gnn_workload
+
+    coll = SuiteSparseLikeCollection(size=6, max_rows=2000, seed=11)
+    liteform = LiteForm().fit(generate_training_data(coll, J_values=(32,)))
+    spec = GNNWorkloadSpec(
+        dataset="cora",
+        model="gat",
+        layers=2,
+        epochs=2,
+        feature_dim=16,
+        hidden_dim=16,
+        seed=23,
+    )
+
+    last = None
+
+    def replay():
+        nonlocal last
+        server = SpMMServer(liteform=liteform, cache=PlanCache())
+        responses = [server.serve_graph(g) for g in generate_gnn_workload(spec)]
+        last = (server, responses)
+        return server
+
+    yield Metric("gnn.replay.wall_ms", _median_wall_ms(replay, repeats), "wall", "ms")
+    assert last is not None
+    server, responses = last
+    m = server.metrics
+    stages = sum(r.device_stages for r in responses)
+    yield Metric("gnn.device_stages", float(stages), "exact")
+    yield Metric(
+        "gnn.full_composes", float(m.cache_misses - m.plan_reuses), "exact"
+    )
+    yield Metric("gnn.plan_reuses", float(m.plan_reuses), "exact")
+    checksum = float(
+        sum(float(np.asarray(r.output, dtype=np.float64).sum()) for r in responses)
+    )
+    yield Metric("gnn.output_checksum", checksum, "exact", tol=1e-9)
+    # Naive baseline: one fresh pipeline compose per device stage.
+    naive_s = 0.0
+    for graph, resp in zip(generate_gnn_workload(spec), responses):
+        for stage in graph.stages:
+            r = resp.responses.get(stage.name)
+            if r is None or r.plan is None:
+                continue
+            naive_s += liteform.compose(
+                r.plan.fmt.to_csr(), spec.feature_dim
+            ).overhead.total_s
+    amortized_s = m.compose_spent_s + m.revalue_s
+    yield Metric(
+        "gnn.amortization_vs_recompose",
+        naive_s / max(amortized_s, 1e-9),
+        "ratio",
+        "x",
+    )
+
+
 def _bench_cluster(repeats: int) -> Iterator[Metric]:
     """Sharded replay + one elastic-membership change, all deterministic:
     the remigration fraction and the fleet's simulated makespan are
@@ -517,6 +577,7 @@ def run_suite(repeats: int = 3, include_serve: bool = True) -> dict:
     metrics.extend(_bench_kernel(entries, repeats))
     if include_serve:
         metrics.extend(_bench_serve(repeats))
+        metrics.extend(_bench_gnn(repeats))
         metrics.extend(_bench_cluster(repeats))
         metrics.extend(_bench_obs(repeats))
     return {

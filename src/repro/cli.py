@@ -25,6 +25,12 @@ Commands
     is shed to the degraded path).  ``--speculative`` serves cache
     misses the immediate CSR plan while a background compose builds
     CELL, swapped into the cache when ready (docs/COMPOSE.md).
+    ``--workload gnn`` replays seeded multi-epoch GNN forward passes as
+    graph (DAG) requests instead — each epoch a chain of op-typed stages
+    (SDDMM → softmax → SpMM → dense for ``--gnn-model gat``; SpMV degrees
+    plus normalized SpMM/dense for ``gcn``) served end to end with one
+    composed plan reused across every stage sharing the adjacency's
+    sparsity pattern (docs/GNN.md).
 ``bench``
     Run the pinned micro-benchmark suite (:mod:`repro.bench.regress`) and
     write a schema-versioned ``BENCH_<rev>.json`` snapshot.  ``--check``
@@ -221,11 +227,117 @@ def cmd_train(args) -> int:
     return 0
 
 
+def _serve_gnn(args) -> int:
+    """``serve --workload gnn``: replay a seeded multi-epoch GNN forward
+    pass as graph (DAG) requests — one GraphRequest per epoch, each a
+    chain of SDDMM/normalize/SpMM/dense stages (docs/GNN.md)."""
+    from repro.matrices.gnn import GNNWorkloadSpec, generate_gnn_workload
+    from repro.serve import PlanCache, RetryPolicy, SpMMServer
+
+    for flag, name in (
+        (args.kill_shard is not None, "--kill-shard"),
+        (args.slo, "--slo"),
+        (args.slo_report, "--slo-report"),
+        (args.faults or args.death_rate or args.spike_rate, "fault injection"),
+    ):
+        if flag:
+            raise SystemExit(f"{name} is only supported with --workload zipf")
+    spec = GNNWorkloadSpec(
+        dataset=args.gnn_dataset,
+        model=args.gnn_model,
+        layers=args.layers,
+        epochs=args.epochs,
+        feature_dim=args.feature_dim,
+        hidden_dim=args.feature_dim,
+        seed=args.seed,
+        mean_gap_ms=(1e3 / args.arrival_rate) if args.arrival_rate else 0.0,
+        deadline_ms=args.deadline_ms if args.deadline_ms else float("inf"),
+    )
+    lf = _get_liteform(args)
+    graphs = generate_gnn_workload(spec)
+    stages = sum(len(g.stages) for g in graphs)
+    print(
+        f"gnn workload: {spec.dataset}/{spec.model}, {spec.layers} layers x "
+        f"{spec.epochs} epochs -> {len(graphs)} graph requests "
+        f"({stages} stages) ...",
+        file=sys.stderr,
+    )
+    if args.shards:
+        from repro.gpu.multi import MultiGPUSpec
+        from repro.serve import ClusterFrontend
+
+        frontend = ClusterFrontend(
+            lf,
+            num_shards=args.shards,
+            virtual_nodes=args.virtual_nodes,
+            replication=args.replication,
+            multi_spec=MultiGPUSpec(num_gpus=args.devices),
+            cache_bytes_per_shard=int(args.cache_mb * 2**20),
+            retry=RetryPolicy(max_attempts=args.retries),
+            degrade_on_oom=not args.no_degrade,
+            speculative=args.speculative,
+            seed=args.seed,
+        )
+        trace_path = getattr(args, "trace", None)
+        if trace_path:
+            tracer = Tracer()
+            previous = set_tracer(tracer)
+            try:
+                for g in graphs:
+                    frontend.serve_graph(g)
+            finally:
+                set_tracer(previous)
+            out_path = frontend.write_trace(trace_path)
+            print(f"trace: merged multi-lane trace written to {out_path}",
+                  file=sys.stderr)
+        else:
+            for g in graphs:
+                frontend.serve_graph(g)
+        if args.json:
+            print(json.dumps(frontend.snapshot(), indent=2))
+        else:
+            print(frontend.report())
+        return 0
+    server = SpMMServer(
+        liteform=lf,
+        cache=PlanCache(max_bytes=int(args.cache_mb * 2**20)),
+        num_devices=args.devices,
+        retry=RetryPolicy(max_attempts=args.retries),
+        degrade_on_oom=not args.no_degrade,
+        speculative=args.speculative,
+    )
+    if args.batch:
+        from repro.serve import Scheduler
+
+        scheduler = Scheduler(
+            server=server,
+            max_batch=args.batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+        )
+        with _maybe_trace(args):
+            scheduler.replay_graphs(graphs)
+        if args.json:
+            print(json.dumps(scheduler.snapshot(), indent=2))
+        else:
+            print(scheduler.report())
+        return 0
+    with _maybe_trace(args):
+        server.serve_graphs(sorted(graphs, key=lambda g: g.arrival_ms))
+    if args.json:
+        print(json.dumps(server.snapshot(), indent=2))
+    else:
+        print(server.report())
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.serve import PlanCache, RetryPolicy, SpMMServer, WorkloadSpec, generate_workload
 
     if (args.slo or args.slo_report) and not args.shards:
         raise SystemExit("--slo / --slo-report require --shards (cluster mode)")
+    if args.workload == "gnn":
+        return _serve_gnn(args)
     spec = WorkloadSpec(
         num_requests=args.requests,
         num_matrices=args.matrices,
@@ -467,21 +579,24 @@ def cmd_info(args) -> int:
         print(f"{name:18s} {fmt.stored_elements:12d} {fmt.padding_ratio:8.1%} "
               f"{fmt.footprint_bytes / 2**20:9.2f}")
     if getattr(args, "profile", False):
-        from repro.kernels.registry import available_methods, resolve
+        from repro.kernels.registry import OP_REGISTRIES, available_methods, resolve
 
         device = SimulatedDevice()
         print(f"\nkernel profiles at J={args.J} ({device.spec.name}):")
-        for name in available_methods():
-            fmt_cls, kernel_cls = resolve(name)
-            fmt, kernel = fmt_cls.from_csr(A), kernel_cls()
-            print(f"\n-- {name} --")
-            try:
-                m = kernel.measure(fmt, args.J, device)
-            except SimulatedOOMError as e:
-                print(f"OOM: {e}")
-                continue
-            print(f"simulated time:       {m.time_ms:.3f} ms")
-            print(profile(m, device.spec).render())
+        for op in OP_REGISTRIES:
+            J = 1 if op == "spmv" else args.J
+            for name in available_methods(op=op):
+                fmt_cls, kernel_cls = resolve(name, op=op)
+                fmt, kernel = fmt_cls.from_csr(A), kernel_cls()
+                label = name if op == "spmm" else f"{name} [{op}, J={J}]"
+                print(f"\n-- {label} --")
+                try:
+                    m = kernel.measure(fmt, J, device)
+                except SimulatedOOMError as e:
+                    print(f"OOM: {e}")
+                    continue
+                print(f"simulated time:       {m.time_ms:.3f} ms")
+                print(profile(m, device.spec).render())
     return 0
 
 
@@ -562,6 +677,21 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(func=cmd_compare)
 
     sp = sub.add_parser("serve", help="replay a Zipf workload through SpMMServer")
+    sp.add_argument("--workload", choices=("zipf", "gnn"), default="zipf",
+                    help="zipf: independent SpMM requests (default); gnn: "
+                         "multi-epoch GNN forward passes as graph (DAG) "
+                         "requests — see docs/GNN.md")
+    sp.add_argument("--gnn-dataset", default="cora", metavar="NAME",
+                    help="Table 4 stand-in graph for --workload gnn")
+    sp.add_argument("--gnn-model", choices=("gat", "gcn"), default="gat",
+                    help="layer chain: gat = SDDMM/softmax/SpMM/dense, "
+                         "gcn = SpMV degrees + normalized SpMM/dense")
+    sp.add_argument("--layers", type=int, default=3,
+                    help="GNN layers per epoch (--workload gnn)")
+    sp.add_argument("--epochs", type=int, default=3,
+                    help="epochs, i.e. graph requests (--workload gnn)")
+    sp.add_argument("--feature-dim", type=int, default=32,
+                    help="feature/hidden width of the GNN layers")
     sp.add_argument("--requests", type=int, default=200, help="requests to replay")
     sp.add_argument("--matrices", type=int, default=16, help="distinct matrices in the pool")
     sp.add_argument("--zipf", type=float, default=1.1, help="popularity exponent")

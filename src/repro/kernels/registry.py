@@ -30,9 +30,11 @@ from repro.kernels.bcsr_spmm import BCSRSpMM
 from repro.kernels.cell_spmm import CELLSpMM
 from repro.kernels.csr_spmm import DgSparseSpMM, RowSplitCSRSpMM, SputnikSpMM
 from repro.kernels.ell_spmm import ELLSpMM, SlicedELLSpMM
+from repro.kernels.sddmm import CELLSDDMM, CSRSDDMM
+from repro.kernels.spmv import MergeCSRSpMV, ScalarCSRSpMV, VectorCSRSpMV
 from repro.kernels.taco_spmm import TacoSpMM
 
-#: The canonical method table.  Keys are the names accepted by
+#: The canonical SpMM method table.  Keys are the names accepted by
 #: :func:`repro.spmm` and printed by the CLI; values are
 #: ``(format_class, kernel_class)`` pairs.
 KERNEL_REGISTRY: dict[str, tuple[type[SparseFormat], type[SpMMKernel]]] = {
@@ -46,22 +48,71 @@ KERNEL_REGISTRY: dict[str, tuple[type[SparseFormat], type[SpMMKernel]]] = {
     "sliced-ell": (SlicedELLFormat, SlicedELLSpMM),
 }
 
+#: Per-op method tables.  ``spmm`` is the historical registry; the SDDMM
+#: and SpMV kernels (previously unreachable from here) get their own
+#: namespaces so ``resolve(name, op=...)`` dispatches all three op kinds
+#: without perturbing the canonical SpMM listing.
+OP_REGISTRIES: dict[str, dict[str, tuple[type[SparseFormat], type[SpMMKernel]]]] = {
+    "spmm": KERNEL_REGISTRY,
+    "sddmm": {
+        "sddmm-csr": (CSRFormat, CSRSDDMM),
+        "sddmm-cell": (CELLFormat, CELLSDDMM),
+    },
+    "spmv": {
+        "spmv-scalar": (CSRFormat, ScalarCSRSpMV),
+        "spmv-vector": (CSRFormat, VectorCSRSpMV),
+        "spmv-merge": (CSRFormat, MergeCSRSpMV),
+    },
+}
 
-def available_methods() -> tuple[str, ...]:
-    """All method names, sorted — the listing every error message cites."""
-    return tuple(sorted(KERNEL_REGISTRY))
+
+def _op_table(op: str) -> dict[str, tuple[type[SparseFormat], type[SpMMKernel]]]:
+    try:
+        return OP_REGISTRIES[op]
+    except KeyError:
+        raise ValueError(
+            f"unknown op {op!r}; choose from {list(OP_REGISTRIES)}"
+        ) from None
 
 
-def resolve(method: str) -> tuple[type[SparseFormat], type[SpMMKernel]]:
+def available_methods(op: str = "spmm") -> tuple[str, ...]:
+    """All method names for ``op``, sorted — the listing every error cites."""
+    return tuple(sorted(_op_table(op)))
+
+
+def resolve(method: str, op: str = "spmm") -> tuple[type[SparseFormat], type[SpMMKernel]]:
     """Look up ``(format_class, kernel_class)`` for a method name.
 
     Raises the repo-wide unknown-method :exc:`ValueError` otherwise, so
     ``repro.spmm``, the CLI, and the benchmarks all fail with the same
     message.
     """
+    table = _op_table(op)
     try:
-        return KERNEL_REGISTRY[method]
+        return table[method]
     except KeyError:
         raise ValueError(
-            f"unknown method {method!r}; choose from {list(available_methods())}"
+            f"unknown method {method!r}; choose from {list(available_methods(op))}"
         ) from None
+
+
+def kernel_for_op(fmt: SparseFormat, op: str) -> SpMMKernel | None:
+    """Pick the kernel that executes ``op`` over an already-built format.
+
+    Returns ``None`` when the composed plan's own SpMM kernel should be
+    kept (``op == "spmm"``, or an SpMV over a non-CSR format, which any
+    SpMM kernel serves correctly at ``J = 1``) or when no registered
+    kernel of that op speaks the format (the caller rebuilds CSR).
+    """
+    _op_table(op)  # validate op
+    if op == "spmm":
+        return None
+    if op == "sddmm":
+        if isinstance(fmt, CELLFormat):
+            return CELLSDDMM()
+        if isinstance(fmt, CSRFormat):
+            return CSRSDDMM()
+        return None
+    if isinstance(fmt, CSRFormat):  # spmv
+        return MergeCSRSpMV()
+    return None

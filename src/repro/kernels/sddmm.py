@@ -63,7 +63,20 @@ def _check_operands(shape: tuple[int, int], U: np.ndarray, V: np.ndarray) -> Non
         )
 
 
-class CSRSDDMM(SpMMKernel):
+class _SDDMMKernel(SpMMKernel):
+    """SDDMM operands are a ``(U, V)`` pair, not one dense matrix, so the
+    generic :meth:`SpMMKernel.run` (which plans off ``B.shape[1]``) does
+    not apply; plan off the shared feature width ``K = U.shape[1]``."""
+
+    def run(self, fmt, operands, device):
+        U, V = operands
+        stats = self.plan(fmt, int(np.asarray(U).shape[1]))
+        measurement = device.measure(stats)
+        C = self.execute(fmt, (U, V))
+        return C, measurement
+
+
+class CSRSDDMM(_SDDMMKernel):
     """Element-parallel SDDMM over CSR: one warp per stored element group."""
 
     name = "sddmm-csr"
@@ -107,7 +120,7 @@ class CSRSDDMM(SpMMKernel):
         return sddmm_reference(A, U, V)
 
 
-class CELLSDDMM(SpMMKernel):
+class CELLSDDMM(_SDDMMKernel):
     """Blockwise SDDMM over CELL buckets: uniform 2^k-element blocks."""
 
     name = "sddmm-cell"

@@ -51,6 +51,12 @@ class _CSRSpMVBase(SpMMKernel):
         x = check_dense_operand(np.atleast_2d(np.asarray(x, dtype=np.float32).reshape(fmt.shape[1], -1)), fmt.shape[1])
         return np.asarray(fmt.to_csr() @ x)
 
+    def run(self, fmt: CSRFormat, x: np.ndarray, device):
+        """SpMV run: a 1-D ``x`` is a single column (the generic SpMM
+        ``run`` would index ``x.shape[1]``)."""
+        x = np.asarray(x, dtype=np.float32).reshape(fmt.shape[1], -1)
+        return super().run(fmt, x, device)
+
     def _common(self, fmt: CSRFormat) -> tuple[int, int, int]:
         if not isinstance(fmt, CSRFormat):
             raise TypeError(f"{self.name} requires CSRFormat, got {type(fmt).__name__}")

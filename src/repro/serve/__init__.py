@@ -34,6 +34,15 @@ fallback immediately while the full plan composes on a background
 executor and is swapped into the cache by the serving thread
 (docs/COMPOSE.md).
 
+Requests are op-typed (:class:`~repro.serve.server.OpRequest`,
+``op ∈ {spmm, sddmm, spmv}``; ``SpMMRequest``/``SpMMResponse`` remain as
+aliases) and plans are cached per ``(fingerprint, op, J)``.
+:mod:`~repro.serve.graph` chains ops into DAG requests
+(:class:`~repro.serve.graph.GraphRequest`) — a GNN layer's
+SDDMM → normalize → SpMM → dense-update pipeline served end to end with
+one composed geometry reused across every stage sharing the adjacency's
+sparsity pattern (docs/GNN.md).
+
 See docs/SERVING.md for cache keying, eviction, deadline, batching, and
 resilience semantics.
 """
@@ -46,12 +55,26 @@ from repro.serve.cluster import (
     WindowedFrequencySketch,
     remigration_fraction,
 )
-from repro.serve.fingerprint import MatrixFingerprint, fingerprint_csr, plan_key
+from repro.serve.fingerprint import (
+    OP_KINDS,
+    MatrixFingerprint,
+    fingerprint_csr,
+    plan_key,
+    plan_op,
+)
+from repro.serve.graph import (
+    GraphEngine,
+    GraphRequest,
+    GraphResponse,
+    OpStage,
+)
 from repro.serve.metrics import LatencySeries, ServerMetrics
 from repro.serve.plan_cache import CACHE_MAGIC, CacheEntry, PlanCache
 from repro.serve.resilience import CircuitBreaker, RetryPolicy
 from repro.serve.scheduler import Batcher, Scheduler, SchedulerMetrics
 from repro.serve.server import (
+    OpRequest,
+    OpResponse,
     ResponseStatus,
     SpMMRequest,
     SpMMResponse,
@@ -71,6 +94,12 @@ __all__ = [
     "MatrixFingerprint",
     "fingerprint_csr",
     "plan_key",
+    "plan_op",
+    "OP_KINDS",
+    "GraphEngine",
+    "GraphRequest",
+    "GraphResponse",
+    "OpStage",
     "PlanCache",
     "CacheEntry",
     "CACHE_MAGIC",
@@ -80,6 +109,8 @@ __all__ = [
     "Batcher",
     "Scheduler",
     "ResponseStatus",
+    "OpRequest",
+    "OpResponse",
     "SpMMRequest",
     "SpMMResponse",
     "SpMMServer",

@@ -481,7 +481,7 @@ class ClusterFrontend:
             request.ctx = TraceContext.mint("req")
         with tracer.span("ingress", ctx=request.ctx, ticket=ticket) as span:
             A = SpMMServer._canonical(request.matrix)
-            key = plan_key(fingerprint_csr(A), request.J)
+            key = plan_key(fingerprint_csr(A), request.J, request.op)
             shard = self._route(key)
             span.set(key=key[:16], shard=shard.shard_id)
             item = _Pending(ticket=ticket, request=request, A=A, key=key)
@@ -506,6 +506,47 @@ class ClusterFrontend:
         """Serve one request now — thin wrapper over submit/poll."""
         response = self.poll(self.submit(request))
         assert response is not None  # in-process poll always completes
+        return response
+
+    def serve_graph(self, graph):
+        """Serve one :class:`repro.serve.graph.GraphRequest` on the shard
+        owning its anchor key.
+
+        The anchor is the graph's first device stage with a literal
+        matrix: every stage of a GNN chain shares that adjacency's
+        pattern, so routing the whole graph by one key keeps the chain's
+        compose/reuse locality on a single shard (hot-key replication and
+        membership moves apply to it like any other key).  The graph runs
+        under the shard's tracer lane; stage outcomes land on the shard
+        server's ``serve_graph_*`` counters and the graph outcome on the
+        cluster's ``completed``/``failed`` scoreboard.
+        """
+        from repro.serve.graph import GraphEngine, plan_key_for_graph
+
+        tracer = get_tracer()
+        if graph.ctx is None and tracer.enabled:
+            graph.ctx = TraceContext.mint("graph")
+        with tracer.span(
+            "ingress", ctx=graph.ctx, graph=graph.name or "anonymous"
+        ) as span:
+            key = plan_key_for_graph(graph)
+            shard = self._route(key)
+            span.set(key=key[:16], shard=shard.shard_id)
+            shard.routed += 1
+            self.metrics.routed += 1
+            self.metrics.graphs += 1
+        lane = self._shard_lane(shard.shard_id)
+        previous = set_tracer(lane) if lane is not None else None
+        try:
+            response = GraphEngine(shard.server).run(graph)
+        finally:
+            if previous is not None:
+                set_tracer(previous)
+        shard.completed += 1
+        self.metrics.completed += 1
+        self.metrics.graph_stages += response.device_stages
+        if response.failed:
+            self.metrics.failed += 1
         return response
 
     def _process_all(self) -> None:
@@ -838,6 +879,7 @@ class ClusterFrontend:
                 "speculative_misses": sum(m.speculative_misses for m in fleet),
                 "speculative_swaps": sum(m.speculative_swaps for m in fleet),
                 "speculative_skipped": sum(m.speculative_skipped for m in fleet),
+                "plan_reuses": sum(m.plan_reuses for m in fleet),
             },
             "slo": self.slo.snapshot() if self.slo is not None else None,
             "shards": [],
@@ -859,6 +901,8 @@ class ClusterFrontend:
                     "requests": m.requests,
                     "hit_rate": m.hit_rate,
                     "availability": m.availability,
+                    "plan_reuses": m.plan_reuses,
+                    "graph_stages": m.graph_stages,
                     "cache": s.server.cache.stats(),
                 }
             )

@@ -32,6 +32,10 @@ class ClusterMetrics:
     completed: int = 0
     #: Requests that failed on every shard the router was willing to try.
     failed: int = 0
+    #: Graph (DAG) requests routed and served end to end.
+    graphs: int = 0
+    #: Device op stages executed inside graph requests, fleet-wide.
+    graph_stages: int = 0
     #: Distinct fingerprints that ever crossed the hot threshold.
     hot_keys: int = 0
     #: Cached plans copied to replica shards (hot-key replication).
@@ -67,6 +71,11 @@ class ClusterMetrics:
              "Requests with a final cluster-level response", "completed"),
             ("cluster_failed_total",
              "Requests failed on every shard tried", "failed"),
+            ("cluster_graphs_total",
+             "Graph (DAG) requests served end to end", "graphs"),
+            ("cluster_graph_stages_total",
+             "Device op stages executed inside graph requests",
+             "graph_stages"),
             ("cluster_hot_keys_total",
              "Distinct fingerprints that crossed the hot threshold",
              "hot_keys"),
@@ -105,6 +114,8 @@ class ClusterMetrics:
             "completed": self.completed,
             "failed": self.failed,
             "availability": self.availability,
+            "graphs": self.graphs,
+            "graph_stages": self.graph_stages,
             "hot_keys": self.hot_keys,
             "plans_replicated": self.plans_replicated,
             "plans_migrated": self.plans_migrated,

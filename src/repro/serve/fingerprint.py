@@ -98,9 +98,26 @@ def fingerprint_csr(
     )
 
 
-def plan_key(fp: MatrixFingerprint, J: int) -> str:
-    """Cache key for one ``(matrix, J)`` pair — plans are J-specific
-    because the bucket-width search optimizes for the operand width."""
+#: Op kinds the serving stack can plan and dispatch.  The plan key carries
+#: the op because a composed format is shared across ops but the *kernel*
+#: bound to it is op-specific (SpMM, SDDMM, and SpMV traverse the same
+#: structure with different operand shapes and cost profiles).
+OP_KINDS: tuple[str, ...] = ("spmm", "sddmm", "spmv")
+
+
+def plan_key(fp: MatrixFingerprint, J: int, op: str = "spmm") -> str:
+    """Cache key for one ``(matrix, op, J)`` triple — plans are J-specific
+    because the bucket-width search optimizes for the operand width, and
+    op-specific because the bound kernel differs per op."""
     if J < 1:
         raise ValueError(f"J must be >= 1, got {J}")
-    return f"{fp.key}/J{J}"
+    if op not in OP_KINDS:
+        raise ValueError(f"unknown op {op!r}; choose from {list(OP_KINDS)}")
+    return f"{fp.key}/{op}/J{J}"
+
+
+def plan_op(key: str) -> str:
+    """Recover the op segment from a plan key (legacy keys imply spmm)."""
+    head = key.rsplit("/J", 1)[0]
+    op = head.rsplit("/", 1)[-1]
+    return op if op in OP_KINDS else "spmm"

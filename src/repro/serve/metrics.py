@@ -134,6 +134,16 @@ class ServerMetrics:
     #: Background composes discarded instead of swapped (the key's entry
     #: was pinned by a structural-OOM degrade, or the compose errored).
     speculative_skipped: int = 0
+    #: Graph (DAG) requests served end to end.
+    graphs: int = 0
+    #: Device op stages (spmm/sddmm/spmv) executed inside graph requests.
+    graph_stages: int = 0
+    #: Cache misses served by rebuilding a recorded composed geometry for
+    #: a same-pattern matrix instead of re-running the pipeline.
+    plan_reuses: int = 0
+    #: Wall-clock seconds spent on those geometry rebuilds (the cheap
+    #: "re-value" path; compare against :attr:`compose_spent_s`).
+    revalue_s: float = 0.0
     #: Wall-clock seconds spent composing (cache misses).
     compose_spent_s: float = 0.0
     #: Wall-clock seconds a compose-per-request server would have spent on
@@ -190,6 +200,17 @@ class ServerMetrics:
             ("serve_speculative_skipped_total",
              "Background composes discarded (OOM-pinned key or compose "
              "error)", "speculative_skipped"),
+            ("serve_graph_requests_total", "Graph (DAG) requests served",
+             "graphs"),
+            ("serve_graph_stages_total",
+             "Device op stages executed inside graph requests",
+             "graph_stages"),
+            ("serve_graph_plan_reuses_total",
+             "Misses served by rebuilding a recorded composed geometry",
+             "plan_reuses"),
+            ("serve_graph_revalue_seconds",
+             "Wall-clock seconds spent rebuilding recorded geometries",
+             "revalue_s"),
             ("serve_compose_spent_seconds", "Wall-clock seconds spent composing",
              "compose_spent_s"),
             ("serve_compose_saved_seconds",
@@ -258,6 +279,10 @@ class ServerMetrics:
             "speculative_swaps": self.speculative_swaps,
             "speculative_skipped": self.speculative_skipped,
             "availability": self.availability,
+            "graphs": self.graphs,
+            "graph_stages": self.graph_stages,
+            "plan_reuses": self.plan_reuses,
+            "revalue_s": self.revalue_s,
             "compose_spent_s": self.compose_spent_s,
             "compose_saved_s": self.compose_saved_s,
             "exec_ms": self.exec_ms.summary(),
@@ -287,6 +312,13 @@ class ServerMetrics:
             "request latency ms  "
             f"p50={t['p50']:.3f} p95={t['p95']:.3f} p99={t['p99']:.3f} max={t['max']:.3f}",
         ]
+        if self.graphs:
+            lines.append(
+                f"graphs              {self.graphs} "
+                f"({self.graph_stages} device stages, "
+                f"{self.plan_reuses} plan reuses, "
+                f"revalue {self.revalue_s * 1e3:.1f} ms)"
+            )
         if self.speculative_misses or self.speculative_swaps or self.speculative_skipped:
             lines.append(
                 f"speculative         {self.speculative_misses} misses, "

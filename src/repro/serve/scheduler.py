@@ -345,6 +345,20 @@ class Scheduler:
             self.server.wait_for_speculation()
         return self.metrics
 
+    # -- DAG (graph) requests --------------------------------------------
+    def serve_graph(self, graph):
+        """Serve one :class:`repro.serve.graph.GraphRequest` on this
+        scheduler's server (graphs carry their own stage ordering, so
+        they bypass the arrival queue)."""
+        return self.server.serve_graph(graph)
+
+    def replay_graphs(self, graphs) -> list:
+        """Replay graph requests in arrival order with cross-graph
+        per-stage coalescing: same-wave SpMM stages sharing one plan key
+        fuse into a single launch (:meth:`SpMMServer.serve_graphs`)."""
+        ordered = sorted(graphs, key=lambda g: g.arrival_ms)
+        return self.server.serve_graphs(ordered)
+
     # ------------------------------------------------------------------
     def _run(self) -> None:
         """The discrete-event loop (virtual milliseconds).
@@ -396,7 +410,7 @@ class Scheduler:
             self._completed[ticket] = response
             return
         A = self.server._canonical(request.matrix)
-        key = plan_key(fingerprint_csr(A), request.J)
+        key = plan_key(fingerprint_csr(A), request.J, request.op)
         self._batcher.push(
             _QueuedRequest(
                 ticket=ticket, request=request, A=A, key=key, enqueued_ms=at

@@ -38,8 +38,9 @@ budget left.
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
@@ -50,15 +51,23 @@ import scipy.sparse as sp
 
 from repro.core.pipeline import ComposePlan, LiteForm, OverheadBreakdown
 from repro.formats.base import VALUE_DTYPE, as_csr
+from repro.formats.cell import CELLFormat
 from repro.formats.csr import CSRFormat
 from repro.gpu.device import DeviceLostError, SimulatedDevice, SimulatedOOMError
 from repro.gpu.stats import Measurement
+from repro.kernels.cell_spmm import CELLSpMM
 from repro.kernels.csr_spmm import RowSplitCSRSpMM
+from repro.kernels.registry import kernel_for_op
+from repro.kernels.sddmm import CSRSDDMM
 from repro.obs import TraceContext, get_tracer
-from repro.serve.fingerprint import fingerprint_csr, plan_key
+from repro.serve.fingerprint import OP_KINDS, fingerprint_csr, plan_key, plan_op
 from repro.serve.metrics import ServerMetrics
 from repro.serve.plan_cache import PlanCache
 from repro.serve.resilience import CircuitBreaker, RetryPolicy
+
+#: Most recent same-pattern composed geometries remembered per server for
+#: the structural-reuse ("re-value") rebuild path.
+_MAX_STRUCTURES = 512
 
 
 class ResponseStatus(str, Enum):
@@ -79,8 +88,14 @@ class ResponseStatus(str, Enum):
 
 
 @dataclass
-class SpMMRequest:
-    """One unit of traffic: multiply ``matrix @ B`` with ``J`` columns.
+class OpRequest:
+    """One unit of traffic: an op over ``matrix`` with dense operand(s).
+
+    ``op`` selects the sparse primitive: ``"spmm"`` multiplies
+    ``matrix @ B`` with ``J`` columns; ``"spmv"`` is its ``J = 1`` corner
+    (``B`` is a ``(K, 1)`` column); ``"sddmm"`` samples ``U @ V.T`` onto
+    the matrix's pattern (pass ``operands=(U, V)``, with ``J`` carrying
+    the shared feature width ``K``).
 
     ``B`` may be ``None`` for measure-only traffic (replay benchmarks that
     only need timing).  ``deadline_ms`` bounds the composition overhead;
@@ -88,6 +103,9 @@ class SpMMRequest:
     ``arrival_ms`` is the request's position on the workload's virtual
     timeline (0.0 for legacy closed-loop traces); the open-loop scheduler
     replays arrivals at these timestamps.
+
+    ``SpMMRequest`` is the historical name and remains a module-level
+    alias — existing SpMM-only callers construct it unchanged.
     """
 
     matrix: sp.spmatrix
@@ -99,13 +117,27 @@ class SpMMRequest:
     #: Distributed trace context minted at the ingress point (e.g. the
     #: cluster frontend); None = the server mints one itself when traced.
     ctx: TraceContext | None = None
+    #: Op kind; see :data:`repro.serve.fingerprint.OP_KINDS`.
+    op: str = "spmm"
+    #: SDDMM dense pair ``(U, V)``; None for spmm/spmv.
+    operands: tuple[np.ndarray, np.ndarray] | None = None
+    #: On a cache miss, allow serving a *same-pattern* matrix by rebuilding
+    #: the geometry recorded from an earlier full compose (selection,
+    #: partitioning, and width search are skipped; only the format arrays
+    #: are refilled).  This is what lets a GNN chain pay one compose per
+    #: (A, op-set) even though stage outputs carry fresh values.
+    reuse_structure: bool = False
 
 
 @dataclass
-class SpMMResponse:
-    """Outcome of one served request."""
+class OpResponse:
+    """Outcome of one served request.
 
-    C: np.ndarray | None
+    ``SpMMResponse`` remains a module-level alias of this class.
+    ``C`` is dense for spmm/spmv and a CSR matrix for sddmm.
+    """
+
+    C: np.ndarray | sp.csr_matrix | None
     measurement: Measurement | None
     plan: ComposePlan | None
     key: str
@@ -146,6 +178,11 @@ class SpMMResponse:
     speculative: bool = False
     #: Trace id the request was served under (None when untraced).
     trace_id: str | None = None
+    #: Op kind the request carried (spmm/sddmm/spmv).
+    op: str = "spmm"
+    #: A cache miss was served by refilling a recorded same-pattern
+    #: geometry (the structural-reuse path) instead of composing.
+    plan_reused: bool = False
 
     @property
     def ok(self) -> bool:
@@ -160,6 +197,13 @@ class SpMMResponse:
     def degraded(self) -> bool:
         """Back-compat view: admission control took the fallback path."""
         return self.admission_degraded
+
+
+#: Back-compat aliases: the serving API was SpMM-only before the op
+#: generalization.  Kept as plain aliases (not subclasses) so isinstance
+#: checks and dataclass identity are unaffected; see docs/API.md.
+SpMMRequest = OpRequest
+SpMMResponse = OpResponse
 
 
 @dataclass
@@ -222,8 +266,11 @@ class SpMMServer:
         self._next_ticket = 0
         self._pending: deque[tuple[int, SpMMRequest]] = deque()
         self._completed: dict[int, SpMMResponse] = {}
-        #: key -> (background compose future, matrix nnz).
-        self._inflight: dict[str, tuple[Future, int]] = {}
+        #: key -> (background compose future, matrix nnz, canonical CSR).
+        self._inflight: dict[str, tuple[Future, int, sp.csr_matrix]] = {}
+        #: pattern digest -> recorded composed geometry (the structural-
+        #: reuse rebuild recipe); bounded FIFO of :data:`_MAX_STRUCTURES`.
+        self._structures: "OrderedDict[str, dict]" = OrderedDict()
         #: Keys whose cache entry holds a structurally-OOM-degraded CSR
         #: plan (the PR 3 pin): background swaps must never overwrite it.
         self._oom_pinned: set[str] = set()
@@ -282,6 +329,104 @@ class SpMMServer:
             overhead=OverheadBreakdown(0.0, 0.0, 0.0, build_s),
         )
 
+    def _bind_op(self, plan: ComposePlan, A: sp.csr_matrix, op: str) -> ComposePlan:
+        """Bind the kernel that executes ``op`` onto a composed plan.
+
+        The pipeline composes formats with an SpMM kernel attached; the
+        same built format serves SDDMM and SpMV through a different
+        kernel (:func:`repro.kernels.registry.kernel_for_op`).  When no
+        kernel of the op speaks the plan's format (SDDMM over a fixed
+        block/ELL format), the format is rebuilt as CSR — cheap relative
+        to composition, charged to the plan's build time.  SpMV over a
+        non-CSR format keeps the plan's SpMM kernel: a ``(K, 1)`` operand
+        is exact through any SpMM execution path.
+        """
+        if op == "spmm":
+            return plan
+        kernel = kernel_for_op(plan.fmt, op)
+        if kernel is not None:
+            return dataclasses.replace(plan, kernel=kernel)
+        if op == "sddmm":
+            tb = time.perf_counter()
+            fmt = CSRFormat.from_csr(A)
+            build_s = time.perf_counter() - tb
+            overhead = dataclasses.replace(
+                plan.overhead, build_s=plan.overhead.build_s + build_s
+            )
+            return dataclasses.replace(
+                plan,
+                use_cell=False,
+                fmt=fmt,
+                kernel=CSRSDDMM(),
+                overhead=overhead,
+                incremental=None,
+            )
+        return plan
+
+    # -- structural reuse ("re-value") ----------------------------------
+    def _record_structure(self, A: sp.csr_matrix, plan: ComposePlan) -> None:
+        """Remember a full compose's geometry under the matrix's *pattern*
+        digest so later same-pattern misses can rebuild it cheaply.
+
+        Must be called with the raw composed plan (before op binding) so
+        the recorded kernel is the plan's own SpMM kernel.
+        """
+        digest = fingerprint_csr(A, include_values=False).digest
+        if plan.use_cell:
+            inc = plan.incremental
+            rec = {
+                "use_cell": True,
+                "num_partitions": plan.num_partitions,
+                "max_widths": list(plan.max_widths),
+                "block_multiple": inc.block_multiple if inc is not None else 2,
+                "predicted_cost": plan.predicted_cost,
+            }
+        else:
+            kwargs = {}
+            block_shape = getattr(plan.fmt, "block_shape", None)
+            if block_shape is not None:
+                kwargs["block_shape"] = block_shape
+            rec = {
+                "use_cell": False,
+                "fmt_cls": type(plan.fmt),
+                "fmt_kwargs": kwargs,
+                "kernel_cls": type(plan.kernel),
+                "predicted_cost": plan.predicted_cost,
+            }
+        self._structures[digest] = rec
+        self._structures.move_to_end(digest)
+        while len(self._structures) > _MAX_STRUCTURES:
+            self._structures.popitem(last=False)
+
+    def _rebuild_structure(self, A: sp.csr_matrix, rec: dict) -> ComposePlan:
+        """Refill a recorded geometry with ``A``'s values — the cheap
+        "re-value" path that skips selection, partitioning, and the
+        bucket-width search entirely (only the format arrays are built,
+        exactly as the original compose built them)."""
+        tb = time.perf_counter()
+        if rec["use_cell"]:
+            widths = rec["max_widths"]
+            fmt = CELLFormat.from_csr(
+                A,
+                num_partitions=rec["num_partitions"],
+                max_widths=widths if widths else None,
+                block_multiple=rec["block_multiple"],
+            )
+            kernel: object = CELLSpMM()
+        else:
+            fmt = rec["fmt_cls"].from_csr(A, **rec["fmt_kwargs"])
+            kernel = rec["kernel_cls"]()
+        build_s = time.perf_counter() - tb
+        return ComposePlan(
+            use_cell=rec["use_cell"],
+            fmt=fmt,
+            kernel=kernel,
+            num_partitions=rec.get("num_partitions", 1),
+            max_widths=list(rec.get("max_widths", [])),
+            overhead=OverheadBreakdown(0.0, 0.0, 0.0, build_s),
+            predicted_cost=rec.get("predicted_cost"),
+        )
+
     def _pick_device(self, exclude: set[int] | frozenset[int] = frozenset()) -> int:
         """Least-busy device whose breaker admits traffic.
 
@@ -298,11 +443,17 @@ class SpMMServer:
 
     # ------------------------------------------------------------------
     def _execute(
-        self, A: sp.csr_matrix, plan: ComposePlan, B: np.ndarray | None, J: int
+        self,
+        A: sp.csr_matrix,
+        plan: ComposePlan,
+        B: np.ndarray | tuple | None,
+        J: int,
+        op: str = "spmm",
     ) -> dict:
-        """Run ``plan`` against operand ``B`` (or measure-only at width
-        ``J``) with bounded retry, breaker updates, and OOM degradation;
-        returns the execution outcome as a dict.
+        """Run ``plan`` against operand ``B`` (an ndarray, or the SDDMM
+        ``(U, V)`` pair; measure-only at width ``J`` when None) with
+        bounded retry, breaker updates, and OOM degradation; returns the
+        execution outcome as a dict.
 
         Recovery rules, per failed attempt:
 
@@ -351,7 +502,7 @@ class SpMMServer:
                             plan.fmt, CSRFormat
                         ):
                             with tracer.span("oom_degrade", nnz=A.nnz):
-                                plan = self._fallback_plan(A)
+                                plan = self._bind_op(self._fallback_plan(A), A, op)
                             degraded_oom = True
                             m.oom_degraded += 1
                             continue  # fresh plan, not a retry
@@ -408,6 +559,7 @@ class SpMMServer:
                 self.liteform.compose_csr, A, max(1, self._plan_J(key))
             ),
             int(A.nnz),
+            A,
         )
 
     def _apply_ready_swaps(self) -> int:
@@ -425,8 +577,8 @@ class SpMMServer:
         m = self.metrics
         tracer = get_tracer()
         applied = 0
-        for key in [k for k, (f, _) in self._inflight.items() if f.done()]:
-            future, nnz = self._inflight.pop(key)
+        for key in [k for k, (f, *_rest) in self._inflight.items() if f.done()]:
+            future, nnz, A = self._inflight.pop(key)
             try:
                 plan = future.result()
             except Exception:
@@ -436,6 +588,7 @@ class SpMMServer:
                 with tracer.span("speculative_swap", key=key, skipped=True):
                     m.speculative_skipped += 1
                 continue
+            plan = self._bind_op(plan, A, plan_op(key))
             with tracer.span("speculative_swap", key=key, nnz=nnz):
                 self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
             self._observe_compose(nnz, plan.overhead.total_s)
@@ -452,7 +605,7 @@ class SpMMServer:
         ready at each request.  Callers that need a settled cache (replay
         tails, tests, shutdown) call this explicitly.
         """
-        futures = [f for f, _ in self._inflight.values()]
+        futures = [f for f, *_rest in self._inflight.values()]
         if futures:
             futures_wait(futures, timeout=timeout)
         return self._apply_ready_swaps()
@@ -465,6 +618,7 @@ class SpMMServer:
         t0: float,
         effective_deadline_ms: float | None,
         force_degrade: bool,
+        reuse_structure: bool = False,
     ) -> tuple[ComposePlan, bool, bool, bool, float]:
         """Cache lookup → admission → compose-or-fallback, shared by the
         single-request and batched paths.
@@ -476,9 +630,15 @@ class SpMMServer:
         miss outright.  With :attr:`speculative` enabled, a miss returns
         the CSR fallback immediately and composes in the background
         (unless the key is OOM-pinned, in which case the pin is restored).
+        With ``reuse_structure``, a miss whose *pattern* matches a
+        recorded compose is served by refilling that geometry (the
+        "re-value" path) instead of re-running the pipeline.
+
+        Every returned plan carries the kernel of the key's op segment.
         """
         m = self.metrics
         tracer = get_tracer()
+        op = plan_op(key)
         if self._inflight:
             self._apply_ready_swaps()
         entry = self.cache.get(key)
@@ -488,10 +648,21 @@ class SpMMServer:
             return entry.plan, True, False, False, time.perf_counter() - t0
 
         m.cache_misses += 1
+        if reuse_structure and not force_degrade:
+            rec = self._structures.get(
+                fingerprint_csr(A, include_values=False).digest
+            )
+            if rec is not None:
+                with tracer.span("revalue", op=op, nnz=A.nnz):
+                    plan = self._bind_op(self._rebuild_structure(A, rec), A, op)
+                m.plan_reuses += 1
+                m.revalue_s += plan.overhead.total_s
+                self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
+                return plan, False, False, False, time.perf_counter() - t0
         if self.speculative and not force_degrade:
             pinned = key in self._oom_pinned
             with tracer.span("speculative_build", nnz=A.nnz, pinned=pinned):
-                plan = self._fallback_plan(A)
+                plan = self._bind_op(self._fallback_plan(A), A, op)
             if pinned:
                 # A structural OOM already proved the full plan cannot fit
                 # this working set; restore the degraded pin instead of
@@ -514,15 +685,20 @@ class SpMMServer:
             )
         if degraded:
             with tracer.span("degraded_build"):
-                plan = self._fallback_plan(A)
+                plan = self._bind_op(self._fallback_plan(A), A, op)
             # degraded plans are intentionally NOT cached: a later
             # best-effort request for the same matrix should get the
             # full pipeline, not a pinned fallback.
             return plan, False, True, False, time.perf_counter() - t0
-        with tracer.span("compose", nnz=A.nnz):
+        with tracer.span("compose", nnz=A.nnz, op=op):
             plan = self.liteform.compose_csr(A, max(1, self._plan_J(key)))
         self._observe_compose(A.nnz, plan.overhead.total_s)
         m.compose_spent_s += plan.overhead.total_s
+        if reuse_structure:
+            # Record before op binding so the recipe holds the plan's own
+            # SpMM kernel; later rebuilds re-bind per op.
+            self._record_structure(A, plan)
+        plan = self._bind_op(plan, A, op)
         self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
         return plan, False, False, False, time.perf_counter() - t0
 
@@ -560,29 +736,41 @@ class SpMMServer:
             ctx = TraceContext.mint("req")
         trace_id = ctx.trace_id if ctx is not None else None
         with tracer.span(
-            "request", ctx=ctx, J=request.J, matrix=request.name or "anonymous"
+            "request",
+            ctx=ctx,
+            J=request.J,
+            op=request.op,
+            matrix=request.name or "anonymous",
         ) as req_span:
             t0 = time.perf_counter()
             with tracer.span("cache_lookup"):
                 if A is None:
                     A = self._canonical(request.matrix)
                 if key is None:
-                    key = plan_key(fingerprint_csr(A), request.J)
+                    key = plan_key(fingerprint_csr(A), request.J, request.op)
 
             effective_deadline = (
                 None
                 if request.deadline_ms is None
                 else request.deadline_ms - queue_wait_ms
             )
+            reuses_before = m.plan_reuses
             plan, cache_hit, degraded, speculative, overhead_s = self._prepare_plan(
-                A, key, t0, effective_deadline, force_degrade
+                A,
+                key,
+                t0,
+                effective_deadline,
+                force_degrade,
+                reuse_structure=request.reuse_structure,
             )
+            plan_reused = m.plan_reuses > reuses_before
             if degraded:
                 m.degraded += 1
             if speculative:
                 m.speculative_misses += 1
 
-            outcome = self._execute(A, plan, request.B, request.J)
+            operand = request.operands if request.op == "sddmm" else request.B
+            outcome = self._execute(A, plan, operand, request.J, op=request.op)
             plan = outcome["plan"]
             measurement = outcome["measurement"]
             failed = outcome["failed"]
@@ -656,6 +844,8 @@ class SpMMServer:
             shed=shed,
             speculative=speculative,
             trace_id=trace_id,
+            op=request.op,
+            plan_reused=plan_reused,
         )
 
     # -- async-style surface -------------------------------------------
@@ -732,12 +922,12 @@ class SpMMServer:
             prepared = []
             for r in requests:
                 A = self._canonical(r.matrix)
-                prepared.append((A, plan_key(fingerprint_csr(A), r.J)))
+                prepared.append((A, plan_key(fingerprint_csr(A), r.J, r.op)))
         keys = {key for _, key in prepared}
         if len(keys) != 1:
             raise ValueError(
-                f"serve_batch requires one (fingerprint, J) group, got {len(keys)} "
-                f"distinct keys: {sorted(keys)}"
+                f"serve_batch requires one (fingerprint, J) group per op, "
+                f"got {len(keys)} distinct plan keys: {sorted(keys)}"
             )
         numeric = [r.B is not None for r in requests]
         if any(numeric) and not all(numeric):
@@ -750,6 +940,14 @@ class SpMMServer:
                 self._serve_one(
                     requests[0], queue_wait_ms=waits[0], A=A, key=key
                 )
+            ]
+        if plan_op(key) != "spmm":
+            # SDDMM operand pairs and SpMV columns have no column-stacked
+            # fused-launch equivalence; group members still share the one
+            # plan lookup through the cache, just not a launch.
+            return [
+                self._serve_one(r, queue_wait_ms=w, A=a, key=k)
+                for r, w, (a, k) in zip(requests, waits, prepared)
             ]
 
         m = self.metrics
@@ -769,9 +967,16 @@ class SpMMServer:
                 if r.deadline_ms is not None
             ]
             effective_deadline = min(deadlines) if deadlines else None
+            reuses_before = m.plan_reuses
             plan, cache_hit, degraded, speculative, overhead_s = self._prepare_plan(
-                A, key, t0, effective_deadline, False
+                A,
+                key,
+                t0,
+                effective_deadline,
+                False,
+                reuse_structure=any(r.reuse_structure for r in requests),
             )
+            plan_reused = m.plan_reuses > reuses_before
             if degraded:
                 m.degraded += n
             if speculative:
@@ -855,6 +1060,7 @@ class SpMMServer:
                     queue_wait_ms=wait,
                     speculative=speculative,
                     trace_id=trace_id,
+                    plan_reused=plan_reused,
                 )
             )
         return responses
@@ -873,6 +1079,21 @@ class SpMMServer:
                 # scoreboard (swap counters, cache stats) is stable.
                 self.wait_for_speculation()
         return self.metrics
+
+    # -- DAG (graph) requests --------------------------------------------
+    def serve_graph(self, graph):
+        """Serve one :class:`repro.serve.graph.GraphRequest` end to end;
+        returns its :class:`~repro.serve.graph.GraphResponse`."""
+        from repro.serve.graph import GraphEngine
+
+        return GraphEngine(self).run(graph)
+
+    def serve_graphs(self, graphs):
+        """Serve many graph requests with cross-graph stage coalescing:
+        same-wave SpMM stages sharing a plan key fuse into one launch."""
+        from repro.serve.graph import GraphEngine
+
+        return GraphEngine(self).run_wave(list(graphs))
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

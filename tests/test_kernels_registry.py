@@ -4,10 +4,19 @@ import numpy as np
 import pytest
 
 import repro
+from repro.formats import CELLFormat, CSRFormat, ELLFormat
 from repro.formats.base import SparseFormat, as_csr
 from repro.gpu import SimulatedDevice
 from repro.kernels.base import SpMMKernel
-from repro.kernels.registry import KERNEL_REGISTRY, available_methods, resolve
+from repro.kernels.registry import (
+    KERNEL_REGISTRY,
+    OP_REGISTRIES,
+    available_methods,
+    kernel_for_op,
+    resolve,
+)
+from repro.kernels.sddmm import CELLSDDMM, CSRSDDMM, sddmm_reference
+from repro.kernels.spmv import MergeCSRSpMV
 from repro.matrices import power_law_graph
 
 
@@ -54,3 +63,92 @@ class TestRegistry:
                                    rtol=2e-4, atol=2e-4)
         with pytest.raises(ValueError, match="unknown method"):
             repro.spmm(A, B, method="bogus")
+
+
+class TestOpRegistries:
+    """The per-op dispatch tables (sddmm/spmv were previously unreachable
+    from the registry)."""
+
+    def test_spmm_table_is_the_legacy_registry(self):
+        assert OP_REGISTRIES["spmm"] is KERNEL_REGISTRY
+        assert list(available_methods(op="spmm")) == list(available_methods())
+
+    def test_sddmm_and_spmv_methods_listed(self):
+        assert set(available_methods(op="sddmm")) == {"sddmm-cell", "sddmm-csr"}
+        assert set(available_methods(op="spmv")) == {
+            "spmv-merge", "spmv-scalar", "spmv-vector"
+        }
+
+    def test_resolve_dispatches_per_op(self):
+        for op in OP_REGISTRIES:
+            for method in available_methods(op=op):
+                fmt_cls, kernel_cls = resolve(method, op=op)
+                assert issubclass(fmt_cls, SparseFormat)
+                assert issubclass(kernel_cls, SpMMKernel)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op 'conv'"):
+            available_methods(op="conv")
+        with pytest.raises(ValueError, match="unknown op"):
+            resolve("csr", op="conv")
+
+    def test_unknown_method_error_is_op_scoped(self):
+        with pytest.raises(ValueError, match="sddmm-cell"):
+            resolve("nope", op="sddmm")
+        with pytest.raises(ValueError, match="unknown method 'cell'"):
+            resolve("cell", op="spmv")  # spmm-only name
+
+    def test_sddmm_entries_run_via_registry(self):
+        A = power_law_graph(250, 5, seed=3)
+        rng = np.random.default_rng(1)
+        U = rng.standard_normal((A.shape[0], 12)).astype(np.float32)
+        V = rng.standard_normal((A.shape[1], 12)).astype(np.float32)
+        expected = sddmm_reference(A, U, V)
+        for method in available_methods(op="sddmm"):
+            fmt_cls, kernel_cls = resolve(method, op="sddmm")
+            C, m = kernel_cls().run(
+                fmt_cls.from_csr(as_csr(A)), (U, V), SimulatedDevice()
+            )
+            np.testing.assert_allclose(
+                C.toarray(), expected.toarray(), rtol=2e-4, atol=2e-4
+            )
+            assert m.time_s > 0
+
+    def test_spmv_entries_run_via_registry(self):
+        A = power_law_graph(250, 5, seed=3)
+        x = np.random.default_rng(2).standard_normal(
+            A.shape[1]
+        ).astype(np.float32)
+        expected = np.asarray(as_csr(A) @ x).ravel()
+        for method in available_methods(op="spmv"):
+            fmt_cls, kernel_cls = resolve(method, op="spmv")
+            y, m = kernel_cls().run(
+                fmt_cls.from_csr(as_csr(A)), x, SimulatedDevice()
+            )
+            np.testing.assert_allclose(
+                np.asarray(y).ravel(), expected, rtol=2e-4, atol=2e-4
+            )
+            assert m.time_s > 0
+
+
+class TestKernelForOp:
+    """Format-aware kernel swap used when an op binds to a cached plan."""
+
+    def test_spmm_keeps_plan_kernel(self):
+        A = as_csr(power_law_graph(100, 4, seed=4))
+        assert kernel_for_op(CELLFormat.from_csr(A), "spmm") is None
+        assert kernel_for_op(CSRFormat.from_csr(A), "spmm") is None
+
+    def test_sddmm_matches_format(self):
+        A = as_csr(power_law_graph(100, 4, seed=4))
+        assert isinstance(kernel_for_op(CELLFormat.from_csr(A), "sddmm"),
+                          CELLSDDMM)
+        assert isinstance(kernel_for_op(CSRFormat.from_csr(A), "sddmm"),
+                          CSRSDDMM)
+        assert kernel_for_op(ELLFormat.from_csr(A), "sddmm") is None
+
+    def test_spmv_requires_csr(self):
+        A = as_csr(power_law_graph(100, 4, seed=4))
+        assert isinstance(kernel_for_op(CSRFormat.from_csr(A), "spmv"),
+                          MergeCSRSpMV)
+        assert kernel_for_op(CELLFormat.from_csr(A), "spmv") is None
