@@ -390,6 +390,88 @@ def _bench_serve(repeats: int) -> Iterator[Metric]:
     yield Metric("serve.cache_hits", float(last_metrics.cache_hits), "exact")
 
 
+def _bench_adaptive(repeats: int) -> Iterator[Metric]:
+    """Adaptive serving under drift: replay wall time, the bandit's
+    deterministic decision counters, and the oracle-recovery ratio on a
+    trace whose optimal format flips mid-replay (the live
+    ``benchmarks/test_ext_adaptive.py`` claim, shrunk to gate size).
+
+    The counters are exact — the bandit is seeded and the workload and
+    drift point are pinned — so any change to the selection policy shows
+    up as deterministic drift, not noise."""
+    from repro.serve import FormatBandit, FormatDriftDevice
+    from repro.serve.adaptive import build_arm_plan
+    from repro.serve.fingerprint import fingerprint_csr, plan_key
+
+    coll = SuiteSparseLikeCollection(size=6, max_rows=2000, seed=11)
+    liteform = LiteForm().fit(generate_training_data(coll, J_values=(32,)))
+    spec = WorkloadSpec(
+        num_requests=120,
+        num_matrices=3,
+        J_choices=(32,),
+        max_rows=2000,
+        with_operands=False,
+        seed=5,
+    )
+    requests = generate_workload(spec)
+    half = len(requests) // 2
+
+    last = None
+
+    def replay():
+        nonlocal last
+        device = FormatDriftDevice(slowdown=4.0)
+        server = SpMMServer(
+            liteform=liteform,
+            cache=PlanCache(),
+            devices=[device],
+            bandit=FormatBandit(min_obs=3, explore=0.05, seed=7),
+        )
+        total_ms = 0.0
+        for i, request in enumerate(requests):
+            if i == half:
+                device.drifted = True
+            total_ms += server.serve(request).measurement.time_ms
+        last = (server, total_ms)
+        return server
+
+    yield Metric(
+        "adaptive.replay.wall_ms", _median_wall_ms(replay, repeats), "wall", "ms"
+    )
+    assert last is not None
+    server, adaptive_ms = last
+    m = server.metrics
+    yield Metric("adaptive.observations", float(m.bandit_observations), "exact")
+    yield Metric("adaptive.overrides", float(m.bandit_overrides), "exact")
+    yield Metric("adaptive.flips", float(m.bandit_flips), "exact")
+    yield Metric("adaptive.failed", float(m.failed), "exact")
+
+    # Hindsight oracle: per-request best arm, phase-aware, cached per key.
+    best = {}
+    oracle_ms = 0.0
+    for i, request in enumerate(requests):
+        drifted = i >= half
+        key = (plan_key(fingerprint_csr(request.matrix), request.J), drifted)
+        if key not in best:
+            device = FormatDriftDevice(slowdown=4.0, drifted=drifted)
+            times = []
+            for arm in ("cell", "csr", "bcsr"):
+                plan = build_arm_plan(liteform, request.matrix, request.J, arm)
+                try:
+                    times.append(plan.kernel.measure(plan.fmt, request.J, device).time_ms)
+                except Exception:
+                    continue
+            best[key] = min(times)
+        oracle_ms += best[key]
+    yield Metric(
+        "adaptive.oracle_recovery",
+        oracle_ms / max(adaptive_ms, 1e-9),
+        "ratio",
+        "x",
+        tol=0.10,
+    )
+
+
 def _bench_gnn(repeats: int) -> Iterator[Metric]:
     """GNN graph-request replay: wall time, deterministic reuse counters,
     an output checksum (bit-drift guard over the chained stages), and the
@@ -507,7 +589,7 @@ def _bench_obs(repeats: int) -> Iterator[Metric]:
     ratio gate enforces the "telemetry is nearly free" contract (traced
     throughput within a few percent of untraced); the span count per
     request is deterministic and pins the instrumentation density."""
-    from repro.obs import SLOEngine, Tracer, set_tracer
+    from repro.obs import Tracer, set_tracer
     from repro.serve import ClusterFrontend
 
     coll = SuiteSparseLikeCollection(size=6, max_rows=2000, seed=11)
@@ -577,6 +659,7 @@ def run_suite(repeats: int = 3, include_serve: bool = True) -> dict:
     metrics.extend(_bench_kernel(entries, repeats))
     if include_serve:
         metrics.extend(_bench_serve(repeats))
+        metrics.extend(_bench_adaptive(repeats))
         metrics.extend(_bench_gnn(repeats))
         metrics.extend(_bench_cluster(repeats))
         metrics.extend(_bench_obs(repeats))

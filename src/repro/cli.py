@@ -25,6 +25,15 @@ Commands
     is shed to the degraded path).  ``--speculative`` serves cache
     misses the immediate CSR plan while a background compose builds
     CELL, swapped into the cache when ready (docs/COMPOSE.md).
+    ``--adaptive`` enables online adaptive format selection: a
+    per-fingerprint Thompson-sampling bandit over the CELL/CSR/BCSR
+    families overrides the static selector once a key has
+    ``--bandit-min-obs`` observations (``--bandit-explore`` forces early
+    random arms, ``--bandit-state`` persists the learned state across
+    runs); ``--drift-after N`` injects a mid-trace format shift —
+    kernels matching ``--drift-kernel`` run ``--drift-slowdown`` x
+    slower after N launches — the scenario the bandit is built to
+    recover from (docs/ADAPTIVE.md).
     ``--workload gnn`` replays seeded multi-epoch GNN forward passes as
     graph (DAG) requests instead — each epoch a chain of op-typed stages
     (SDDMM → softmax → SpMM → dense for ``--gnn-model gat``; SpMV degrees
@@ -142,6 +151,49 @@ def _get_liteform(args) -> LiteForm:
     return LiteForm().fit(generate_training_data(coll, J_values=(32, 128)))
 
 
+def _make_bandit(args):
+    """Single-node :class:`~repro.serve.FormatBandit` from the serve
+    flags (None when ``--adaptive`` is off).  An existing
+    ``--bandit-state`` file warm-starts the bandit, with this run's
+    flags overriding the saved hyperparameters."""
+    if not getattr(args, "adaptive", False):
+        return None
+    from repro.serve import FormatBandit
+
+    state_path = getattr(args, "bandit_state", None)
+    if state_path and Path(state_path).exists():
+        bandit = FormatBandit.load(
+            state_path,
+            min_obs=args.bandit_min_obs,
+            explore=args.bandit_explore,
+            seed=args.seed,
+        )
+        print(
+            f"bandit: warm-started from {state_path} "
+            f"({bandit.key_observations_total()} observations)",
+            file=sys.stderr,
+        )
+        return bandit
+    return FormatBandit(
+        min_obs=args.bandit_min_obs,
+        explore=args.bandit_explore,
+        seed=args.seed,
+    )
+
+
+def _save_bandit(args, bandit) -> None:
+    """Persist a single-node bandit's state after the replay."""
+    state_path = getattr(args, "bandit_state", None)
+    if bandit is None or not state_path:
+        return
+    bandit.save(state_path)
+    print(
+        f"bandit: state saved to {state_path} "
+        f"({bandit.key_observations_total()} observations)",
+        file=sys.stderr,
+    )
+
+
 def cmd_compose(args) -> int:
     A = _load_matrix(args.matrix)
     lf = _get_liteform(args)
@@ -239,6 +291,8 @@ def _serve_gnn(args) -> int:
         (args.slo, "--slo"),
         (args.slo_report, "--slo-report"),
         (args.faults or args.death_rate or args.spike_rate, "fault injection"),
+        (args.drift_after is not None, "--drift-after"),
+        (args.bandit_state, "--bandit-state"),
     ):
         if flag:
             raise SystemExit(f"{name} is only supported with --workload zipf")
@@ -276,6 +330,9 @@ def _serve_gnn(args) -> int:
             retry=RetryPolicy(max_attempts=args.retries),
             degrade_on_oom=not args.no_degrade,
             speculative=args.speculative,
+            adaptive=args.adaptive,
+            bandit_min_obs=args.bandit_min_obs,
+            bandit_explore=args.bandit_explore,
             seed=args.seed,
         )
         trace_path = getattr(args, "trace", None)
@@ -305,6 +362,7 @@ def _serve_gnn(args) -> int:
         retry=RetryPolicy(max_attempts=args.retries),
         degrade_on_oom=not args.no_degrade,
         speculative=args.speculative,
+        bandit=_make_bandit(args),
     )
     if args.batch:
         from repro.serve import Scheduler
@@ -378,6 +436,25 @@ def cmd_serve(args) -> int:
             f"degrade={'off' if args.no_degrade else 'on'})",
             file=sys.stderr,
         )
+    if args.drift_after is not None:
+        if devices is not None:
+            raise SystemExit("--drift-after cannot combine with fault injection")
+        from repro.serve import FormatDriftDevice
+
+        devices = [
+            FormatDriftDevice(
+                slow_prefixes=(args.drift_kernel,),
+                slowdown=args.drift_slowdown,
+                shift_after_launches=args.drift_after,
+            )
+            for _ in range(args.devices)
+        ]
+        print(
+            f"format drift: {args.drift_kernel}* kernels "
+            f"{args.drift_slowdown:g}x slower after {args.drift_after} "
+            f"launches per device",
+            file=sys.stderr,
+        )
     requests = generate_workload(spec)
     if args.shards:
         from repro.gpu.multi import MultiGPUSpec
@@ -408,6 +485,16 @@ def cmd_serve(args) -> int:
                     )
                 )
 
+        elif args.drift_after is not None:
+            from repro.serve import FormatDriftDevice
+
+            def device_factory(shard_index, device_index):
+                return FormatDriftDevice(
+                    slow_prefixes=(args.drift_kernel,),
+                    slowdown=args.drift_slowdown,
+                    shift_after_launches=args.drift_after,
+                )
+
         frontend = ClusterFrontend(
             lf,
             num_shards=args.shards,
@@ -422,9 +509,18 @@ def cmd_serve(args) -> int:
             retry=RetryPolicy(max_attempts=args.retries),
             degrade_on_oom=not args.no_degrade,
             speculative=args.speculative,
+            adaptive=args.adaptive,
+            bandit_min_obs=args.bandit_min_obs,
+            bandit_explore=args.bandit_explore,
             seed=args.seed,
             slo=slo,
         )
+        if args.adaptive:
+            print(
+                f"adaptive: per-shard bandits (min_obs={args.bandit_min_obs}, "
+                f"explore={args.bandit_explore:g})",
+                file=sys.stderr,
+            )
         chaos = (
             f", killing a shard at {args.kill_shard:g} ms"
             if args.kill_shard is not None
@@ -468,6 +564,7 @@ def cmd_serve(args) -> int:
         else:
             print(frontend.report())
         return 0
+    bandit = _make_bandit(args)
     server = SpMMServer(
         liteform=lf,
         cache=PlanCache(max_bytes=int(args.cache_mb * 2**20)),
@@ -476,6 +573,7 @@ def cmd_serve(args) -> int:
         retry=RetryPolicy(max_attempts=args.retries),
         degrade_on_oom=not args.no_degrade,
         speculative=args.speculative,
+        bandit=bandit,
     )
     if args.batch:
         from repro.serve import Scheduler
@@ -488,6 +586,7 @@ def cmd_serve(args) -> int:
         )
         with _maybe_trace(args):
             scheduler.replay(requests)
+        _save_bandit(args, bandit)
         if args.json:
             print(json.dumps(scheduler.snapshot(), indent=2))
         else:
@@ -497,6 +596,7 @@ def cmd_serve(args) -> int:
     # account for (nearly) all of the traced wall time.
     with _maybe_trace(args):
         server.replay(requests)
+    _save_bandit(args, bandit)
     if args.json:
         print(json.dumps(server.snapshot(), indent=2))
     else:
@@ -720,6 +820,32 @@ def build_parser() -> argparse.ArgumentParser:
                     help="serve cache misses the immediate CSR plan while a "
                          "background compose builds CELL (swapped in when "
                          "ready)")
+    sp.add_argument("--adaptive", action="store_true",
+                    help="online adaptive format selection: a per-fingerprint "
+                         "Thompson-sampling bandit over CELL/CSR/BCSR "
+                         "overrides the static selector once a key has "
+                         "enough reward (docs/ADAPTIVE.md)")
+    sp.add_argument("--bandit-min-obs", type=int, default=3, metavar="N",
+                    help="per-key observations before the bandit overrides "
+                         "the static selector (--adaptive)")
+    sp.add_argument("--bandit-explore", type=float, default=0.05,
+                    metavar="PROB",
+                    help="pre-handoff probability of playing a random arm "
+                         "(--adaptive)")
+    sp.add_argument("--bandit-state", metavar="PATH",
+                    help="persist bandit state here after the replay (loaded "
+                         "first when the file already exists; --adaptive, "
+                         "single-node)")
+    sp.add_argument("--drift-after", type=int, default=None, metavar="N",
+                    help="chaos: after N kernel launches the device runs "
+                         "kernels matching --drift-kernel "
+                         "--drift-slowdown x slower (a mid-trace format "
+                         "shift; see docs/ADAPTIVE.md)")
+    sp.add_argument("--drift-slowdown", type=float, default=4.0, metavar="F",
+                    help="latency multiplier of the drifted kernel family")
+    sp.add_argument("--drift-kernel", default="cell", metavar="PREFIX",
+                    help="kernel-label prefix the drift slows down "
+                         "(cell / cusparse / triton)")
     sp.add_argument("--measure-only", action="store_true",
                     help="skip numeric execution, time the kernels only")
     sp.add_argument("--batch", type=int, default=0, metavar="N",

@@ -26,6 +26,8 @@ class FormatSelector:
     def __init__(self, model: BaseClassifier | None = None):
         self.model = model if model is not None else RandomForestClassifier(n_estimators=50)
         self.last_inference_s: float = 0.0
+        self._constant: bool | None = None
+        self._fitted = False
 
     def fit(self, features: np.ndarray, labels: np.ndarray) -> "FormatSelector":
         features = np.asarray(features, dtype=np.float64)
@@ -35,13 +37,32 @@ class FormatSelector:
         if np.unique(labels).size < 2:
             # Degenerate training set: remember the constant answer.
             self._constant = bool(labels[0])
+            self._fitted = True
             return self
         self._constant = None
         self.model.fit(features, labels.astype(np.int64))
+        self._fitted = True
         return self
+
+    @property
+    def is_fitted(self) -> bool:
+        # Pickles from before `_fitted` existed were only ever saved
+        # after training, when `fit` had stored `_constant`.
+        fitted = getattr(self, "_fitted", None)
+        if fitted is None:
+            return "_constant" in self.__dict__
+        return bool(fitted)
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError(
+                "FormatSelector has not been fitted; call fit(features, labels) "
+                "(or LiteForm.fit) before predicting"
+            )
 
     def predict(self, A: sp.csr_matrix) -> bool:
         """Should this matrix use CELL?  Timed — the Fig. 8 overhead term."""
+        self._require_fitted()
         t0 = time.perf_counter()
         feats = format_selection_features(A)[None, :]
         if getattr(self, "_constant", None) is not None:
@@ -53,6 +74,7 @@ class FormatSelector:
 
     def predict_features(self, features: np.ndarray) -> np.ndarray:
         """Batch prediction on precomputed feature rows (for evaluation)."""
+        self._require_fitted()
         features = np.atleast_2d(np.asarray(features, dtype=np.float64))
         if getattr(self, "_constant", None) is not None:
             return np.full(features.shape[0], self._constant, dtype=bool)

@@ -97,6 +97,30 @@ def _geomean(values: list[float]) -> float:
     return float(np.exp(np.mean(np.log(arr))))
 
 
+def serving_format_sample(
+    name: str,
+    features: np.ndarray,
+    cell_time_s: float,
+    fixed_time_s: float,
+) -> FormatSelectionSample:
+    """One Table 2 row from *serving* telemetry rather than a J-sweep.
+
+    The serving path measures each format family at the request's own
+    ``J`` instead of sweeping ``DEFAULT_J_VALUES``, so the times are
+    per-observation means, not geomeans — the label rule is the same
+    as :func:`generate_training_data`'s.
+    """
+    if cell_time_s <= 0.0:
+        raise ValueError(f"cell_time_s must be positive, got {cell_time_s}")
+    return FormatSelectionSample(
+        name=name,
+        features=np.asarray(features, dtype=np.float64),
+        label=bool(fixed_time_s / cell_time_s > CELL_ADVANTAGE_THRESHOLD),
+        cell_time_s=float(cell_time_s),
+        fixed_time_s=float(fixed_time_s),
+    )
+
+
 def compose_cell_for_partitions(
     A: sp.csr_matrix,
     num_partitions: int,

@@ -46,3 +46,29 @@ def transfer_fit(
     if not target.format_samples:
         raise ValueError("target data must contain at least one sample")
     return liteform.fit(transfer_training_data(source, target, target_weight))
+
+
+def refit_format_selector(
+    liteform: LiteForm,
+    target: TrainingData,
+    source: TrainingData | None = None,
+    target_weight: int = 4,
+) -> int:
+    """Refit only the *format selector* on serving-derived samples.
+
+    Unlike :func:`transfer_fit`, this leaves the partition predictor
+    untouched — serving telemetry yields format-family rewards (CELL vs
+    fixed per request) but no partition-count sweep, so only the Table 2
+    model can be updated online.  With ``source`` history the serving
+    samples are up-weighted ``target_weight`` times against it; without,
+    the selector is fit on serving samples alone.  Returns the number of
+    samples fit on.
+    """
+    if not target.format_samples:
+        raise ValueError("target data must contain at least one format sample")
+    if source is not None:
+        combined = transfer_training_data(source, target, target_weight)
+    else:
+        combined = target
+    liteform.selector.fit(combined.format_X, combined.format_y)
+    return len(combined.format_samples)

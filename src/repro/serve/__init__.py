@@ -34,6 +34,12 @@ fallback immediately while the full plan composes on a background
 executor and is swapped into the cache by the serving thread
 (docs/COMPOSE.md).
 
+With ``SpMMServer(bandit=FormatBandit(...))`` (CLI ``serve --adaptive``)
+a per-fingerprint Thompson-sampling bandit over the CELL/CSR/BCSR format
+families consumes each request's simulated latency as reward and, once a
+key has enough evidence, overrides the static §5 selector — re-pinning
+the cached plan when its decision flips the format (docs/ADAPTIVE.md).
+
 Requests are op-typed (:class:`~repro.serve.server.OpRequest`,
 ``op ∈ {spmm, sddmm, spmv}``; ``SpMMRequest``/``SpMMResponse`` remain as
 aliases) and plans are cached per ``(fingerprint, op, J)``.
@@ -47,6 +53,15 @@ See docs/SERVING.md for cache keying, eviction, deadline, batching, and
 resilience semantics.
 """
 
+from repro.serve.adaptive import (
+    ARMS,
+    BANDIT_MAGIC,
+    ArmStats,
+    FormatBandit,
+    FormatDriftDevice,
+    build_arm_plan,
+    plan_arm,
+)
 from repro.serve.cluster import (
     ClusterFrontend,
     ClusterMetrics,
@@ -83,6 +98,13 @@ from repro.serve.server import (
 from repro.serve.workload import WorkloadSpec, generate_workload, zipf_weights
 
 __all__ = [
+    "ARMS",
+    "BANDIT_MAGIC",
+    "ArmStats",
+    "FormatBandit",
+    "FormatDriftDevice",
+    "build_arm_plan",
+    "plan_arm",
     "CircuitBreaker",
     "RetryPolicy",
     "ClusterFrontend",

@@ -62,6 +62,7 @@ from repro.obs import (
     set_tracer,
     write_merged,
 )
+from repro.serve.adaptive import DEFAULT_EXPLORE, DEFAULT_MIN_OBS, FormatBandit
 from repro.serve.cluster.hotkeys import DEFAULT_WINDOW, WindowedFrequencySketch
 from repro.serve.cluster.metrics import ClusterMetrics
 from repro.serve.cluster.ring import DEFAULT_VIRTUAL_NODES, ShardRing
@@ -154,6 +155,9 @@ class ClusterFrontend:
         retry: RetryPolicy | None = None,
         degrade_on_oom: bool = True,
         speculative: bool = False,
+        adaptive: bool = False,
+        bandit_min_obs: int = DEFAULT_MIN_OBS,
+        bandit_explore: float = DEFAULT_EXPLORE,
         reroute_on_failure: bool = True,
         spill_dir: str | Path | None = None,
         seed: int = 0,
@@ -200,6 +204,12 @@ class ClusterFrontend:
         self.retry = retry or RetryPolicy()
         self.degrade_on_oom = degrade_on_oom
         self.speculative = speculative
+        self.adaptive = adaptive
+        self.bandit_min_obs = int(bandit_min_obs)
+        self.bandit_explore = float(bandit_explore)
+        #: Base seed of per-shard bandit RNGs (offset by shard index so
+        #: shards explore independently but deterministically).
+        self._bandit_seed = int(seed)
         self.reroute_on_failure = reroute_on_failure
         self.metrics = metrics or ClusterMetrics()
         if slo is True:
@@ -263,6 +273,13 @@ class ClusterFrontend:
                 SimulatedDevice(spec=self.multi_spec.gpu)
                 for _ in range(self.multi_spec.num_gpus)
             ]
+        bandit = None
+        if self.adaptive:
+            bandit = FormatBandit(
+                min_obs=self.bandit_min_obs,
+                explore=self.bandit_explore,
+                seed=self._bandit_seed + index,
+            )
         server = SpMMServer(
             liteform=self.liteform,
             cache=PlanCache(max_bytes=self.cache_bytes_per_shard),
@@ -270,6 +287,7 @@ class ClusterFrontend:
             retry=self.retry,
             degrade_on_oom=self.degrade_on_oom,
             speculative=self.speculative,
+            bandit=bandit,
         )
         scheduler = None
         if self.batch:
@@ -423,15 +441,53 @@ class ClusterFrontend:
                     added += 1
         return added
 
+    def _spill_bandit_state(
+        self, keys: list[str], target: _Shard, path: Path
+    ) -> Path | None:
+        """Write the donors' bandit state for ``keys`` as a sidecar next
+        to the plan spill bundle (None when no donor has evidence)."""
+        carrier = FormatBandit(
+            min_obs=self.bandit_min_obs,
+            explore=self.bandit_explore,
+            seed=self._bandit_seed,
+        )
+        for donor in self._live():
+            if donor is target or donor.server.bandit is None:
+                continue
+            carrier.merge_state(donor.server.bandit.state_dict(keys))
+        if not carrier.key_observations_total():
+            return None
+        bandit_path = path.with_name(path.name + ".bandit")
+        carrier.save(bandit_path)
+        return bandit_path
+
     def _transfer(self, entries: list[CacheEntry], shard: _Shard) -> int:
-        """Move entries to ``shard`` through one save/load spill bundle."""
+        """Move entries to ``shard`` through one save/load spill bundle.
+
+        With adaptive serving on, the donors' bandit state for the moved
+        keys travels as a ``.bandit`` sidecar of the spill bundle, so the
+        receiving shard's bandit starts from the fleet's accumulated
+        reward instead of re-exploring from scratch.
+        """
         if not entries:
             return 0
         path = self._spill(entries)
+        bandit_path = None
+        if self.adaptive and shard.server.bandit is not None:
+            bandit_path = self._spill_bandit_state(
+                [e.key for e in entries], shard, path
+            )
         try:
-            return self._absorb(shard, path)
+            added = self._absorb(shard, path)
+            if bandit_path is not None:
+                shard.server.bandit.merge_state(
+                    FormatBandit.load(bandit_path).state_dict()
+                )
+            return added
         finally:
             path.unlink(missing_ok=True)
+            if bandit_path is not None:
+                bandit_path.unlink(missing_ok=True)
 
     def _ensure_replicated(self, key: str) -> bool:
         """Copy a hot key's cached plan to its replica shards (once per
@@ -880,6 +936,11 @@ class ClusterFrontend:
                 "speculative_swaps": sum(m.speculative_swaps for m in fleet),
                 "speculative_skipped": sum(m.speculative_skipped for m in fleet),
                 "plan_reuses": sum(m.plan_reuses for m in fleet),
+                "bandit_observations": sum(m.bandit_observations for m in fleet),
+                "bandit_overrides": sum(m.bandit_overrides for m in fleet),
+                "bandit_explorations": sum(m.bandit_explorations for m in fleet),
+                "bandit_flips": sum(m.bandit_flips for m in fleet),
+                "bandit_retrains": sum(m.bandit_retrains for m in fleet),
             },
             "slo": self.slo.snapshot() if self.slo is not None else None,
             "shards": [],

@@ -141,6 +141,20 @@ class ServerMetrics:
     #: Cache misses served by rebuilding a recorded composed geometry for
     #: a same-pattern matrix instead of re-running the pipeline.
     plan_reuses: int = 0
+    #: Successful requests whose simulated latency was fed to the format
+    #: bandit as reward (adaptive serving; docs/ADAPTIVE.md).
+    bandit_observations: int = 0
+    #: Requests whose format was chosen by the bandit instead of the
+    #: static selector (post-handoff Thompson decisions).
+    bandit_overrides: int = 0
+    #: Pre-handoff decisions where the bandit played a random arm.
+    bandit_explorations: int = 0
+    #: Plan-cache entries re-pinned because the bandit flipped a key to a
+    #: different format arm than the cached plan's.
+    bandit_flips: int = 0
+    #: Periodic refits of the static format selector on serving-derived
+    #: training samples.
+    bandit_retrains: int = 0
     #: Wall-clock seconds spent on those geometry rebuilds (the cheap
     #: "re-value" path; compare against :attr:`compose_spent_s`).
     revalue_s: float = 0.0
@@ -208,6 +222,21 @@ class ServerMetrics:
             ("serve_graph_plan_reuses_total",
              "Misses served by rebuilding a recorded composed geometry",
              "plan_reuses"),
+            ("serve_bandit_observations_total",
+             "Successful requests fed to the format bandit as reward",
+             "bandit_observations"),
+            ("serve_bandit_overrides_total",
+             "Requests whose format the bandit chose over the static "
+             "selector", "bandit_overrides"),
+            ("serve_bandit_explorations_total",
+             "Pre-handoff random-arm explorations by the format bandit",
+             "bandit_explorations"),
+            ("serve_bandit_flips_total",
+             "Plan-cache entries re-pinned on a bandit format flip",
+             "bandit_flips"),
+            ("serve_bandit_retrains_total",
+             "Static-selector refits on serving-derived samples",
+             "bandit_retrains"),
             ("serve_graph_revalue_seconds",
              "Wall-clock seconds spent rebuilding recorded geometries",
              "revalue_s"),
@@ -278,6 +307,11 @@ class ServerMetrics:
             "speculative_misses": self.speculative_misses,
             "speculative_swaps": self.speculative_swaps,
             "speculative_skipped": self.speculative_skipped,
+            "bandit_observations": self.bandit_observations,
+            "bandit_overrides": self.bandit_overrides,
+            "bandit_explorations": self.bandit_explorations,
+            "bandit_flips": self.bandit_flips,
+            "bandit_retrains": self.bandit_retrains,
             "availability": self.availability,
             "graphs": self.graphs,
             "graph_stages": self.graph_stages,
@@ -324,6 +358,14 @@ class ServerMetrics:
                 f"speculative         {self.speculative_misses} misses, "
                 f"{self.speculative_swaps} swaps, "
                 f"{self.speculative_skipped} skipped"
+            )
+        if self.bandit_observations:
+            lines.append(
+                f"bandit              {self.bandit_observations} observations, "
+                f"{self.bandit_overrides} overrides, "
+                f"{self.bandit_explorations} explorations, "
+                f"{self.bandit_flips} flips, "
+                f"{self.bandit_retrains} retrains"
             )
         if self.failed:
             f = self.failed_ms.summary()

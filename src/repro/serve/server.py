@@ -60,6 +60,7 @@ from repro.kernels.csr_spmm import RowSplitCSRSpMM
 from repro.kernels.registry import kernel_for_op
 from repro.kernels.sddmm import CSRSDDMM
 from repro.obs import TraceContext, get_tracer
+from repro.serve.adaptive import FormatBandit, build_arm_plan, plan_arm
 from repro.serve.fingerprint import OP_KINDS, fingerprint_csr, plan_key, plan_op
 from repro.serve.metrics import ServerMetrics
 from repro.serve.plan_cache import PlanCache
@@ -243,6 +244,15 @@ class SpMMServer:
     #: immediately while a background thread composes the full plan, which
     #: is swapped into the cache (on the serving thread) when ready.
     speculative: bool = False
+    #: Online adaptive format selection (docs/ADAPTIVE.md): a
+    #: :class:`~repro.serve.adaptive.FormatBandit` consulted on every
+    #: request once armed with enough per-key reward; a decision that
+    #: differs from the cached plan's arm re-pins the cache entry.
+    #: ``None`` serves statically.
+    bandit: FormatBandit | None = None
+    #: Refit the static format selector on serving-derived samples every
+    #: N bandit observations (0 = never retrain online).
+    bandit_retrain_every: int = 0
 
     def __post_init__(self) -> None:
         if self.devices is None:
@@ -279,6 +289,9 @@ class SpMMServer:
             if self.speculative
             else None
         )
+        #: key -> arm -> op-bound plan, memoized so a bandit flip back to
+        #: a previously built arm costs a dict lookup, not a rebuild.
+        self._bandit_plans: dict[str, dict[str, ComposePlan]] = {}
 
     # ------------------------------------------------------------------
     def estimate_compose_s(self, nnz: int) -> float | None:
@@ -610,6 +623,61 @@ class SpMMServer:
             futures_wait(futures, timeout=timeout)
         return self._apply_ready_swaps()
 
+    # -- adaptive format selection (docs/ADAPTIVE.md) --------------------
+    def _sync_bandit_metrics(self) -> None:
+        """Mirror the bandit's lifetime counters onto the scoreboard
+        (``bandit_flips`` is server-side and incremented directly)."""
+        b, m = self.bandit, self.metrics
+        m.bandit_observations = b.observations
+        m.bandit_overrides = b.overrides
+        m.bandit_explorations = b.explorations
+        m.bandit_retrains = b.retrains
+
+    def _arm_plan(self, A: sp.csr_matrix, key: str, arm: str, op: str) -> ComposePlan:
+        """The op-bound plan of one bandit arm for ``key``, built once."""
+        per_key = self._bandit_plans.setdefault(key, {})
+        plan = per_key.get(arm)
+        if plan is None:
+            with get_tracer().span("bandit_build", arm=arm, nnz=A.nnz):
+                plan = self._bind_op(
+                    build_arm_plan(self.liteform, A, self._plan_J(key), arm), A, op
+                )
+            self.metrics.compose_spent_s += plan.overhead.total_s
+            per_key[arm] = plan
+        return plan
+
+    def _bandit_decide(
+        self, A: sp.csr_matrix, key: str, cached_plan: ComposePlan, op: str
+    ) -> ComposePlan:
+        """Hit-path bandit decision: keep the cached plan, or substitute
+        the chosen arm's plan and re-pin the cache entry (a "flip")."""
+        b = self.bandit
+        if b is None or key in self._oom_pinned:
+            return cached_plan
+        arm = b.select(key)
+        self._sync_bandit_metrics()
+        if arm is None or arm == plan_arm(cached_plan):
+            return cached_plan
+        plan = self._arm_plan(A, key, arm, op)
+        with get_tracer().span("bandit_repin", arm=arm, key=key):
+            self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
+        self.metrics.bandit_flips += 1
+        return plan
+
+    def _bandit_observe(
+        self, A: sp.csr_matrix, key: str, plan: ComposePlan, exec_ms: float
+    ) -> None:
+        """Feed one successful request's simulated latency back as reward
+        for the arm that actually executed."""
+        b = self.bandit
+        if b is None or key in self._oom_pinned:
+            return
+        b.observe(key, plan_arm(plan), exec_ms, A=A)
+        if self.bandit_retrain_every and b.observations % self.bandit_retrain_every == 0:
+            with get_tracer().span("bandit_retrain", observations=b.observations):
+                b.retrain(self.liteform)
+        self._sync_bandit_metrics()
+
     # ------------------------------------------------------------------
     def _prepare_plan(
         self,
@@ -645,9 +713,24 @@ class SpMMServer:
         if entry is not None:
             m.cache_hits += 1
             m.compose_saved_s += entry.compose_overhead_s
-            return entry.plan, True, False, False, time.perf_counter() - t0
+            plan = self._bandit_decide(A, key, entry.plan, op)
+            return plan, True, False, False, time.perf_counter() - t0
 
         m.cache_misses += 1
+        if (
+            self.bandit is not None
+            and not force_degrade
+            and key not in self._oom_pinned
+        ):
+            # Miss-path override: a bandit with enough reward for this key
+            # (e.g. after an eviction) serves its chosen arm directly
+            # instead of re-running the static pipeline.
+            arm = self.bandit.select(key)
+            self._sync_bandit_metrics()
+            if arm is not None:
+                plan = self._arm_plan(A, key, arm, op)
+                self.cache.put(key, plan, compose_overhead_s=plan.overhead.total_s)
+                return plan, False, False, False, time.perf_counter() - t0
         if reuse_structure and not force_degrade:
             rec = self._structures.get(
                 fingerprint_csr(A, include_values=False).digest
@@ -801,6 +884,7 @@ class SpMMServer:
                 if outcome["recovered"]:
                     m.recovered += 1
                 m.observe_latency(exec_ms, latency_ms)
+                self._bandit_observe(A, key, plan, exec_ms)
             if failed:
                 status = ResponseStatus.FAILED
             elif degraded or outcome["degraded_oom"] or speculative:
@@ -995,6 +1079,10 @@ class SpMMServer:
                 self._oom_pinned.add(key)
             exec_ms = measurement.time_ms if measurement is not None else 0.0
             overhead_ms = overhead_s * 1e3
+            if not failed:
+                # One reward per fused launch (the per-request share), not
+                # per member: the bandit's unit of evidence is a launch.
+                self._bandit_observe(A, key, plan, exec_ms / n)
             batch_span.set(
                 cache_hit=cache_hit,
                 degraded=degraded,

@@ -1,0 +1,7 @@
+"""End-to-end CLI smoke contracts (one module per former ci.yml heredoc).
+
+Each test here drives ``repro.cli.main`` in-process with the same flags
+the CI workflow used to pass to inline ``python - <<EOF`` steps, and
+asserts the same contract.  CI runs the whole package as a single
+``pytest tests/smoke -q`` step; locally they are part of tier-1.
+"""

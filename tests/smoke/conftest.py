@@ -1,0 +1,48 @@
+"""Fixtures for the CLI smoke contracts."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir(tmp_path_factory) -> Path:
+    """Where smokes drop inspectable artifacts (traces, SLO reports).
+
+    CI sets ``REPRO_SMOKE_ARTIFACTS`` to a workspace directory so the
+    consolidated upload step can collect them; locally they land in a
+    session tmpdir.
+    """
+    env = os.environ.get("REPRO_SMOKE_ARTIFACTS")
+    if env:
+        path = Path(env)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    return tmp_path_factory.mktemp("obs-artifacts")
+
+
+@pytest.fixture(scope="session")
+def run_cli():
+    """Invoke the CLI in-process and return its parsed ``--json`` output.
+
+    Equivalent to ``PYTHONPATH=src python -m repro.cli ... --json`` in
+    the former workflow heredocs; stderr (training progress, trace
+    summaries) passes through untouched.
+    """
+
+    def run(*args: object, parse_json: bool = True):
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            rc = main([str(a) for a in args])
+        assert rc == 0, f"cli exited {rc} for {args}"
+        return json.loads(buf.getvalue()) if parse_json else buf.getvalue()
+
+    return run

@@ -1,0 +1,31 @@
+"""Adaptive drift smoke: on a trace whose kernel costs shift mid-replay,
+``serve --adaptive`` overrides the static selector (re-pinning cached
+plans onto a different format family) with 100% availability."""
+
+
+def test_bandit_overrides_static_model_on_shifted_trace(run_cli):
+    snap = run_cli(
+        "serve",
+        "--requests",
+        120,
+        "--matrices",
+        4,
+        "--measure-only",
+        "--adaptive",
+        "--drift-after",
+        60,
+        "--drift-slowdown",
+        3,
+        "--train-size",
+        6,
+        "--seed",
+        3,
+        "--json",
+    )
+    assert snap["failed"] == 0, f"unhandled failures: {snap['failed']}"
+    assert snap["availability"] == 1.0, snap["availability"]
+    assert snap["bandit_observations"] == 120, snap["bandit_observations"]
+    assert snap["bandit_overrides"] > 0, "bandit never took over from the model"
+    # The drift forced at least one cached plan onto a different format
+    # family — the static selector alone would have stayed wrong.
+    assert snap["bandit_flips"] > 0, "drift never flipped a cached plan's format"

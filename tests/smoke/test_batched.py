@@ -1,0 +1,32 @@
+"""Batched scheduling smoke: shared-key arrivals coalesce into fused
+launches and nothing fails."""
+
+
+def test_arrivals_coalesce_into_batches(run_cli):
+    snap = run_cli(
+        "serve",
+        "--requests",
+        80,
+        "--matrices",
+        8,
+        "--J-values",
+        32,
+        "--batch",
+        8,
+        "--max-wait-ms",
+        1.0,
+        "--arrival-rate",
+        100000,
+        "--max-queue",
+        128,
+        "--train-size",
+        6,
+        "--seed",
+        3,
+        "--json",
+    )
+    assert snap["dispatched"] + snap["shed"] == 80, snap
+    assert snap["batches"] < snap["dispatched"], "nothing coalesced"
+    assert snap["coalesce_rate"] > 0.0, snap["coalesce_rate"]
+    assert "p95" in snap["queue_wait_ms"], snap["queue_wait_ms"]
+    assert snap["server"]["failed"] == 0, snap["server"]["failed"]

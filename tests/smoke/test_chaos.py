@@ -1,0 +1,26 @@
+"""Chaos serving smoke: injected faults are retried, nothing is lost."""
+
+
+def test_chaos_faults_are_absorbed_by_retries(run_cli):
+    snap = run_cli(
+        "serve",
+        "--requests",
+        80,
+        "--matrices",
+        8,
+        "--measure-only",
+        "--faults",
+        0.1,
+        "--retries",
+        4,
+        "--devices",
+        2,
+        "--train-size",
+        6,
+        "--seed",
+        3,
+        "--json",
+    )
+    assert snap["failed"] == 0, f"unhandled failures: {snap['failed']}"
+    assert snap["retries"] > 0, "fault injection never exercised retries"
+    assert snap["availability"] == 1.0, snap["availability"]

@@ -1,0 +1,26 @@
+"""GNN graph serving smoke: DAG requests over shards reuse composed plans."""
+
+
+def test_sharded_gnn_epochs_reuse_plans(run_cli):
+    snap = run_cli(
+        "serve",
+        "--workload",
+        "gnn",
+        "--shards",
+        2,
+        "--layers",
+        2,
+        "--epochs",
+        2,
+        "--feature-dim",
+        16,
+        "--train-size",
+        6,
+        "--seed",
+        3,
+        "--json",
+    )["cluster"]
+    assert snap["failed"] == 0, f"failed graphs: {snap['failed']}"
+    assert snap["availability"] == 1.0, snap["availability"]
+    assert snap["graphs"] == 2 and snap["graph_stages"] == 8, snap
+    assert snap["plan_reuses"] >= 1, "no plan was structurally reused"

@@ -1,0 +1,23 @@
+"""Speculative serving smoke: a miss storm never blocks on composition."""
+
+
+def test_miss_storm_is_served_speculatively(run_cli):
+    snap = run_cli(
+        "serve",
+        "--requests",
+        60,
+        "--matrices",
+        30,
+        "--measure-only",
+        "--speculative",
+        "--train-size",
+        6,
+        "--seed",
+        3,
+        "--json",
+    )
+    assert snap["failed"] == 0, f"unhandled failures: {snap['failed']}"
+    assert snap["availability"] == 1.0, snap["availability"]
+    assert snap["speculative_misses"] > 0, "no miss was served speculatively"
+    assert snap["speculative_swaps"] > 0, "no background compose landed"
+    assert snap["speculative_misses"] == snap["cache_misses"], snap

@@ -1,0 +1,25 @@
+"""Traced serving smoke: every span is a well-formed Chrome trace event."""
+
+import json
+
+
+def test_traced_serve_emits_complete_spans(run_cli, artifacts_dir):
+    trace_path = artifacts_dir / "serve_trace.json"
+    run_cli(
+        "serve",
+        "--requests",
+        50,
+        "--train-size",
+        6,
+        "--seed",
+        3,
+        "--trace",
+        trace_path,
+        "--json",
+    )
+    trace = json.loads(trace_path.read_text())
+    events = trace["traceEvents"]
+    assert len(events) > 0, "trace has no spans"
+    for e in events:
+        for key in ("ph", "ts", "dur", "name", "pid", "tid"):
+            assert key in e, f"event missing {key}: {e}"
